@@ -1,0 +1,42 @@
+"""Ablation: sensitivity of IAR to the Formula 2 constant ``K``.
+
+Paper (Section 5.1): "we tried different values of K in Formula 2 and
+found that as long as it falls into a range between 3 and 10, the
+results are quite similar (in our reported results, K=5)."
+"""
+
+from repro.analysis import average_row, format_figure
+from repro.analysis.experiments import project_to_model_levels
+from repro.core import iar_schedule, lower_bound, simulate
+from repro.vm.costbenefit import EstimatedModel
+
+K_VALUES = (1.0, 3.0, 5.0, 10.0, 30.0)
+
+
+def _sweep(suite):
+    rows = []
+    for name, instance in suite.items():
+        model = EstimatedModel(instance)
+        projected = project_to_model_levels(instance, model)
+        lb = lower_bound(projected)
+        row = {"benchmark": name}
+        for k in K_VALUES:
+            sched = iar_schedule(projected, k=k)
+            row[f"K={k:g}"] = simulate(projected, sched, validate=False).makespan / lb
+        rows.append(row)
+    return rows
+
+
+def test_k_sensitivity(benchmark, suite, report, scale):
+    rows = benchmark.pedantic(_sweep, args=(suite,), rounds=1, iterations=1)
+    series = [f"K={k:g}" for k in K_VALUES]
+    avg = average_row(rows, series)
+    text = format_figure(
+        [avg] + rows, series,
+        title=f"Ablation — IAR sensitivity to K (scale={scale})",
+    )
+    report("ablation_K", text)
+
+    inside = [float(avg[f"K={k:g}"]) for k in (3.0, 5.0, 10.0)]
+    spread = (max(inside) - min(inside)) / min(inside)
+    assert spread < 0.05, "K in [3,10] must give similar results (paper)"

@@ -1,0 +1,49 @@
+"""Ablation: contribution of IAR's step 3 and step 4 refinements.
+
+Paper (Section 5.1): the fine adjustments do not change much — "there
+is only a marginal room left for improvement by this fine adjustment."
+We measure each step's contribution explicitly.
+"""
+
+from repro.analysis import average_row, format_figure
+from repro.analysis.experiments import project_to_model_levels
+from repro.core import lower_bound, simulate
+from repro.core.iar import IARParams, iar
+from repro.vm.costbenefit import EstimatedModel
+
+VARIANTS = {
+    "steps_1_2": IARParams(refine_slack=False, fill_gap=False),
+    "plus_slack": IARParams(refine_slack=True, fill_gap=False),
+    "plus_gap": IARParams(refine_slack=False, fill_gap=True),
+    "full": IARParams(refine_slack=True, fill_gap=True),
+}
+
+
+def _sweep(suite):
+    rows = []
+    for name, instance in suite.items():
+        model = EstimatedModel(instance)
+        projected = project_to_model_levels(instance, model)
+        lb = lower_bound(projected)
+        row = {"benchmark": name}
+        for label, params in VARIANTS.items():
+            sched = iar(projected, params).schedule
+            row[label] = simulate(projected, sched, validate=False).makespan / lb
+        rows.append(row)
+    return rows
+
+
+def test_step_contributions(benchmark, suite, report, scale):
+    rows = benchmark.pedantic(_sweep, args=(suite,), rounds=1, iterations=1)
+    series = list(VARIANTS)
+    avg = average_row(rows, series)
+    text = format_figure(
+        [avg] + rows, series,
+        title=f"Ablation — IAR step contributions (scale={scale})",
+    )
+    report("ablation_iar_steps", text)
+
+    # Refinements never hurt on average and their total effect is the
+    # paper's "marginal room".
+    assert avg["full"] <= avg["steps_1_2"] + 1e-9
+    assert avg["steps_1_2"] - avg["full"] < 0.25

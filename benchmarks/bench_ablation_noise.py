@@ -1,0 +1,44 @@
+"""Ablation: IAR's tolerance to time-estimation and sequence-prediction
+error (motivated by Section 8).
+
+The paper notes that deploying IAR online needs estimated times and
+predicted call sequences, and asks for "the relations between
+estimation errors and the quality of an advanced scheduling algorithm".
+We plan IAR on noisy views and execute on the truth.
+"""
+
+from repro.analysis import average_row, format_figure
+from repro.core.online import online_iar_makespan
+
+TIME_ERRORS = (0.0, 0.25, 0.5, 1.0, 2.0)
+
+
+def _sweep(suite):
+    rows = []
+    for name, instance in suite.items():
+        row = {"benchmark": name}
+        for err in TIME_ERRORS:
+            result = online_iar_makespan(instance, time_error=err, seed=17)
+            row[f"err={err:g}"] = result.degradation
+        rows.append(row)
+    return rows
+
+
+def test_noise_tolerance(benchmark, suite, report, scale):
+    rows = benchmark.pedantic(_sweep, args=(suite,), rounds=1, iterations=1)
+    series = [f"err={e:g}" for e in TIME_ERRORS]
+    avg = average_row(rows, series)
+    text = format_figure(
+        [avg] + rows, series,
+        title=(
+            "Ablation — IAR make-span degradation vs time-estimation "
+            f"error (scale={scale}; 1.0 = perfect-information IAR)"
+        ),
+    )
+    report("ablation_noise", text)
+
+    assert avg["err=0"] == 1.0
+    # Small estimation errors must be tolerable (<5% loss), large ones
+    # must show measurable degradation — the Section 8 trade-off.
+    assert avg["err=0.25"] < 1.05
+    assert avg["err=2"] >= avg["err=0.25"] - 1e-9

@@ -1,0 +1,45 @@
+"""Section 6.2.5: feasibility of A*-search for optimal schedules.
+
+Paper: "For a call sequence with six unique functions called for 50
+times in total and two levels of compilations, the A*-search algorithm
+finds an optimal compilation schedule by searching through 96 out of 4
+billion (12!) paths.  However ... when the number of unique methods is
+larger than 6, the A*-search program aborts for out of memory."
+
+We reproduce the shape: optimal with a vanishing fraction of the path
+space explored up to six functions, memory exhaustion beyond.
+"""
+
+from repro.analysis import format_table
+from repro.analysis.experiments import astar_scaling
+
+COUNTS = (2, 3, 4, 5, 6, 7)
+
+
+def test_astar_scaling(benchmark, report, scale):
+    rows = benchmark.pedantic(
+        astar_scaling,
+        kwargs={
+            "function_counts": COUNTS,
+            "calls_per_instance": 50,
+            "max_frontier": 200_000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        rows,
+        title="A*-search feasibility (Section 6.2.5)",
+        precision=1,
+    )
+    report("astar_search", text)
+
+    by_m = {r["functions"]: r for r in rows}
+    # Solvable through six functions...
+    for m in (2, 3, 4, 5, 6):
+        assert by_m[m]["status"] == "optimal"
+    # ...searching a vanishing fraction of the path space at m=6...
+    six = by_m[6]
+    assert six["nodes_expanded"] < six["paths_total"] / 100
+    # ...and out of memory at seven (the paper's cliff).
+    assert by_m[7]["status"] == "out-of-memory"

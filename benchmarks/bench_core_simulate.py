@@ -1,0 +1,49 @@
+"""Throughput of the core machinery: make-span simulation and IAR.
+
+These are real pytest-benchmark timings (multiple rounds) rather than
+one-shot pedantic runs, tracking the cost of the two hot paths every
+experiment goes through.
+"""
+
+from repro.core import iar_schedule, simulate
+from repro.core.single_level import base_level_schedule
+from repro.workloads import WorkloadSpec, generate
+
+SPEC = WorkloadSpec(
+    name="throughput",
+    num_functions=500,
+    num_calls=200_000,
+    num_levels=4,
+    base_compile_us=50.0,
+    mean_exec_us=2.0,
+)
+
+
+def _instance():
+    return generate(SPEC, seed=42)
+
+
+INSTANCE = _instance()
+SCHEDULE = base_level_schedule(INSTANCE)
+
+
+def test_simulate_throughput(benchmark):
+    result = benchmark(simulate, INSTANCE, SCHEDULE, validate=False)
+    assert result.makespan > 0
+
+
+def test_simulate_16_threads_throughput(benchmark):
+    result = benchmark(
+        simulate, INSTANCE, SCHEDULE, compile_threads=16, validate=False
+    )
+    assert result.makespan > 0
+
+
+def test_iar_throughput(benchmark):
+    sched = benchmark(iar_schedule, INSTANCE)
+    assert len(sched) >= INSTANCE.num_functions
+
+
+def test_trace_generation_throughput(benchmark):
+    inst = benchmark(_instance)
+    assert inst.num_calls == SPEC.num_calls

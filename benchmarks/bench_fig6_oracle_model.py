@@ -1,0 +1,32 @@
+"""Figure 6: normalized make-span under the oracle cost-benefit model.
+
+Paper's shape: fixing the model's time estimates lowers the reachable
+bound (deeper suitable levels), so every scheme's gap *widens* — the
+default's roughly doubles — while the IAR-to-bound range stays usable.
+"Overall, the results suggest that the importance of compilation
+scheduling actually increases as the cost-benefit model gets enhanced."
+"""
+
+from repro.analysis import average_row, format_figure
+from repro.analysis.experiments import figure5, figure6
+
+SERIES = ["lower_bound", "iar", "default", "base_level", "optimizing_level"]
+
+
+def test_figure6(benchmark, suite, report, scale):
+    rows = benchmark.pedantic(figure6, args=(suite,), rounds=1, iterations=1)
+    avg = average_row(rows, SERIES)
+    text = format_figure(
+        [avg] + rows,
+        SERIES,
+        title=f"Figure 6 — normalized make-span, oracle model (scale={scale})",
+    )
+    report("fig6_oracle_model", text)
+
+    rows5 = figure5(suite)
+    avg5 = average_row(rows5, SERIES)
+    gap5 = avg5["default"] - 1.0
+    gap6 = avg["default"] - 1.0
+    assert gap6 > gap5, "oracle model must widen the default's gap"
+    assert avg["iar"] < avg["default"], "IAR still wins under the oracle"
+    assert avg["default"] / avg["iar"] > avg5["default"] / avg5["iar"] * 0.9

@@ -1,0 +1,37 @@
+"""Figure 7: speed-up from concurrent JIT when the IAR schedule is used.
+
+Paper's shape: "As the number of cores increases, the speedup increases
+but slightly and always remains quite minor.  The largest speedup is
+13% ... The average speedups are no greater than 7%" — because a good
+compilation schedule already hides most compilation time.
+"""
+
+from repro.analysis import average_row, format_figure
+from repro.analysis.experiments import figure7
+
+CORES = (1, 2, 4, 8, 16)
+SERIES = [f"cores_{k}" for k in CORES]
+
+
+def test_figure7(benchmark, suite, report, scale):
+    rows = benchmark.pedantic(
+        figure7, args=(suite,), kwargs={"core_counts": CORES}, rounds=1,
+        iterations=1,
+    )
+    avg = average_row(rows, SERIES)
+    text = format_figure(
+        [avg] + rows,
+        SERIES,
+        title=(
+            "Figure 7 — concurrent-JIT speed-up on IAR schedules "
+            f"(scale={scale})"
+        ),
+    )
+    report("fig7_concurrency", text)
+
+    assert avg["cores_1"] == 1.0
+    # Monotone but minor gains.
+    for lo, hi in zip(SERIES, SERIES[1:]):
+        assert avg[hi] >= avg[lo] - 1e-9
+    assert avg["cores_16"] < 1.25, "concurrency gain must stay minor"
+    assert max(float(r["cores_16"]) for r in rows) < 1.4

@@ -1,0 +1,40 @@
+"""Extension: every scheduler in the library, side by side.
+
+Beyond the paper's five bars: the HotSpot-style tiered scheme, the
+count-promotion / hotness-first / greedy-budget static baselines, all
+on the model-level projection of each benchmark.
+"""
+
+from repro.analysis import average_row, format_figure
+from repro.analysis.experiments import grand_comparison
+
+SERIES = [
+    "lower_bound", "iar", "greedy_budget", "hotness_first", "ondemand",
+    "tiered", "jikes", "v8", "optimizing_level", "base_level",
+]
+
+
+def _sweep(suite):
+    rows = []
+    for name, instance in suite.items():
+        row = {"benchmark": name}
+        row.update(grand_comparison(instance))
+        rows.append(row)
+    return rows
+
+
+def test_grand_comparison(benchmark, suite, report, scale):
+    rows = benchmark.pedantic(_sweep, args=(suite,), rounds=1, iterations=1)
+    avg = average_row(rows, SERIES)
+    text = format_figure(
+        [avg] + rows, SERIES,
+        title=f"Extension — all schedulers, normalized make-span (scale={scale})",
+    )
+    report("grand_comparison", text)
+
+    # Planned schedules beat every reactive scheme on average.
+    planned_best = min(float(avg[k]) for k in ("iar", "greedy_budget"))
+    for reactive in ("jikes", "v8", "tiered"):
+        assert float(avg[reactive]) > planned_best
+    # And the naive extremes stay the worst.
+    assert float(avg["base_level"]) == max(float(avg[k]) for k in SERIES)

@@ -1,0 +1,65 @@
+"""Extension experiment: function inlining's effect on scheduling
+(Section 8: inlining "may substantially change the length and execution
+time of the caller function").
+
+We run each mini-VM sample program with and without leaf-inlining,
+extract both OCSP instances, and compare: the trace shrinks, per-call
+work moves into the callers, and the schedulers' task changes shape —
+but IAR stays ahead of the naive baseline either way.
+"""
+
+from repro.analysis import format_table
+from repro.core import iar_schedule, lower_bound, simulate
+from repro.core.single_level import base_level_schedule
+from repro.jitsim import extract_instance, inline_program, loops_program, phased_program
+
+PROGRAMS = {
+    "loops": lambda: loops_program(hot_calls=2000, warm_calls=200),
+    "phased": lambda: phased_program(phase_calls=1500),
+}
+
+
+def _compare():
+    rows = []
+    for name, build in PROGRAMS.items():
+        original = build()
+        inlined = inline_program(original, max_callee_size=32, rounds=2)
+        inst_orig = extract_instance(original, name=f"{name}")
+        inst_inl = extract_instance(inlined, name=f"{name}-inlined")
+
+        def norm(inst):
+            span = simulate(inst, iar_schedule(inst), validate=False).makespan
+            base = simulate(
+                inst, base_level_schedule(inst), validate=False
+            ).makespan
+            return span / lower_bound(inst), base / lower_bound(inst)
+
+        iar_o, base_o = norm(inst_orig)
+        iar_i, base_i = norm(inst_inl)
+        rows.append(
+            {
+                "program": name,
+                "calls_orig": inst_orig.num_calls,
+                "calls_inlined": inst_inl.num_calls,
+                "iar_orig": iar_o,
+                "iar_inlined": iar_i,
+                "base_orig": base_o,
+                "base_inlined": base_i,
+            }
+        )
+    return rows
+
+
+def test_inlining_effect(benchmark, report):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    text = format_table(
+        rows, title="Extension — inlining's effect on the OCSP instance"
+    )
+    report("inlining_effect", text)
+
+    for row in rows:
+        # Inlining removes leaf invocations from the trace...
+        assert row["calls_inlined"] < row["calls_orig"]
+        # ...and scheduling still pays on both shapes.
+        assert row["iar_orig"] <= row["base_orig"] + 1e-9
+        assert row["iar_inlined"] <= row["base_inlined"] + 1e-9

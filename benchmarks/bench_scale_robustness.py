@@ -1,0 +1,40 @@
+"""Robustness: the headline claims must hold across trace scales.
+
+The suite is generated at a configurable scale (DESIGN.md explains the
+sqrt co-scaling of function counts and compile times).  This bench
+re-checks the Figure 5 ordering at half and double the configured scale
+— if the calibration were a single-point artifact, these would flip.
+"""
+
+from repro.analysis import average_row
+from repro.analysis.experiments import figure5
+from repro.workloads import dacapo
+
+SERIES = ["lower_bound", "iar", "default", "base_level", "optimizing_level"]
+BENCHES = ("antlr", "jython", "lusearch", "eclipse")
+
+
+def _at_scale(scale):
+    suite = {name: dacapo.load(name, scale=scale) for name in BENCHES}
+    return average_row(figure5(suite), SERIES)
+
+
+def test_scale_robustness(benchmark, report, scale):
+    rows = []
+    for factor, label in ((0.5, "half"), (1.0, "configured"), (2.0, "double")):
+        avg = _at_scale(scale * factor)
+        avg["benchmark"] = f"{label} ({scale * factor:g})"
+        rows.append(avg)
+    benchmark.pedantic(_at_scale, args=(scale,), rounds=1, iterations=1)
+
+    from repro.analysis import format_figure
+
+    text = format_figure(
+        rows, SERIES, title=f"Scale robustness of the Figure 5 ordering"
+    )
+    report("scale_robustness", text)
+
+    for row in rows:
+        assert float(row["iar"]) < float(row["default"]), row["benchmark"]
+        assert float(row["default"]) < float(row["base_level"]), row["benchmark"]
+        assert float(row["iar"]) < 1.45, row["benchmark"]

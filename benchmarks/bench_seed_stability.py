@@ -1,0 +1,44 @@
+"""Robustness: conclusions must not depend on the generator seed.
+
+Regenerates the whole suite with three different workload seeds and
+checks the Figure 5 ordering and magnitudes each time.
+"""
+
+from repro.analysis import average_row, format_figure
+from repro.analysis.experiments import figure5
+from repro.workloads import dacapo
+
+SERIES = ["lower_bound", "iar", "default", "base_level", "optimizing_level"]
+SEEDS = (101, 202, 303)
+
+
+def _suite_with_seed(scale, seed):
+    return {
+        info.name: dacapo.load(info.name, scale=scale, seed=seed + i)
+        for i, info in enumerate(dacapo.TABLE1)
+    }
+
+
+def _sweep(scale):
+    rows = []
+    for seed in SEEDS:
+        suite = _suite_with_seed(scale, seed)
+        avg = average_row(figure5(suite), SERIES)
+        avg["benchmark"] = f"seed {seed}"
+        rows.append(avg)
+    return rows
+
+
+def test_seed_stability(benchmark, report, scale):
+    rows = benchmark.pedantic(_sweep, args=(scale,), rounds=1, iterations=1)
+    text = format_figure(
+        rows, SERIES, title=f"Seed robustness of the Figure 5 averages (scale={scale})"
+    )
+    report("seed_stability", text)
+
+    for row in rows:
+        assert float(row["iar"]) < 1.30, row["benchmark"]
+        assert float(row["iar"]) < float(row["default"]), row["benchmark"]
+        assert float(row["default"]) < float(row["base_level"]), row["benchmark"]
+    iars = [float(r["iar"]) for r in rows]
+    assert max(iars) - min(iars) < 0.15, "IAR quality must be seed-stable"

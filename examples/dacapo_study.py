@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The full evaluation study: every table and figure of Section 6.
+
+Regenerates Table 1, Figures 5–8, Table 2, and the A*-search
+feasibility experiment on the synthetic DaCapo suite.
+
+Run:  python examples/dacapo_study.py [scale]
+
+``scale`` defaults to 0.01 (about a minute); the paper's full trace
+lengths correspond to ``scale=1.0``.
+"""
+
+import sys
+
+from repro.analysis import (
+    astar_scaling,
+    average_row,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    format_figure,
+    format_table,
+    table1,
+    table2,
+)
+from repro.workloads import dacapo
+
+SERIES = ["lower_bound", "iar", "default", "base_level", "optimizing_level"]
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    print(f"Generating the nine Table-1 benchmarks at scale={scale} ...")
+    suite = dacapo.load_suite(scale=scale)
+    print()
+
+    print(format_table(table1(scale=scale), title="Table 1 — benchmarks", precision=1))
+    print()
+
+    for title, driver in (
+        ("Figure 5 — default cost-benefit model", figure5),
+        ("Figure 6 — oracle cost-benefit model", figure6),
+    ):
+        rows = driver(suite)
+        rows.insert(0, average_row(rows, SERIES))
+        print(format_figure(rows, SERIES, title=title))
+        print()
+
+    rows7 = figure7(suite)
+    cores = [c for c in rows7[0] if c.startswith("cores_")]
+    rows7.insert(0, average_row(rows7, cores))
+    print(format_figure(rows7, cores, title="Figure 7 — concurrent JIT speed-up"))
+    print()
+
+    rows8 = figure8(suite)
+    rows8.insert(0, average_row(rows8, SERIES))
+    print(format_figure(rows8, SERIES, title="Figure 8 — V8 scheme (two levels)"))
+    print()
+
+    print(format_table(table2(suite), title="Table 2 — IAR overhead", precision=4))
+    print()
+
+    print(
+        format_table(
+            astar_scaling(max_frontier=200_000),
+            title="Section 6.2.5 — A*-search feasibility",
+            precision=1,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Experiment drivers, metrics, and reporting for the paper's evaluation.
+
+* :mod:`repro.analysis.metrics` — normalization, gaps, speed-ups;
+* :mod:`repro.analysis.experiments` — one driver per table/figure;
+* :mod:`repro.analysis.reporting` — ASCII rendering of result rows.
+"""
+
+from . import diagnose as diagnose_module, experiments, metrics, reporting
+from .diagnose import GapDiagnosis, diagnose
+from .export import rows_to_csv, save_csv
+from .sensitivity import sweep_parameter
+from .experiments import (
+    astar_scaling,
+    average_row,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    grand_comparison,
+    scheme_comparison,
+    table1,
+    table2,
+)
+from .reporting import format_figure, format_table, format_timeline, render_rows
+
+__all__ = [
+    "metrics",
+    "diagnose",
+    "GapDiagnosis",
+    "rows_to_csv",
+    "save_csv",
+    "sweep_parameter",
+    "experiments",
+    "reporting",
+    "table1",
+    "table2",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "scheme_comparison",
+    "grand_comparison",
+    "astar_scaling",
+    "average_row",
+    "format_table",
+    "format_figure",
+    "format_timeline",
+    "render_rows",
+]

@@ -1,0 +1,173 @@
+"""Make-span gap diagnosis: *why* is a schedule above the lower bound?
+
+The distance between a schedule's make-span and the Section 5.2 lower
+bound decomposes exactly into three parts:
+
+* **bubbles** — time the execution thread spent waiting for compiles;
+* **level excess** — invocations that ran below their function's top
+  available level, costing ``e_used - e_top`` each;
+* and nothing else: ``makespan = lower_bound + bubbles + level_excess``
+  (the execution thread is always either running or waiting, and the
+  bound charges every call at ``e_top``).
+
+Level excess splits further by *why* the call ran slow:
+
+* ``excess_never_upgraded`` — the schedule never compiles the function
+  above the level the call used (a policy decision, e.g. IAR's
+  category O);
+* ``excess_before_upgrade`` — a higher compile exists in the schedule
+  but had not finished when the call started (a timing problem).
+
+This is the tool the paper's Section 7 hints at: "virtual machine
+developers can easily see the room left for improvement and allocate
+their efforts appropriately."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.bounds import lower_bound
+from ..core.makespan import iter_calls
+from ..core.model import OCSPInstance
+from ..core.schedule import Schedule
+
+__all__ = ["GapDiagnosis", "FunctionGap", "diagnose"]
+
+
+@dataclass(frozen=True)
+class FunctionGap:
+    """Per-function contribution to the gap.
+
+    Attributes:
+        function: function name.
+        calls: number of invocations.
+        bubbles: waiting time attributed to this function's calls.
+        excess_before_upgrade: slowdown of calls that ran before the
+            schedule's higher compile of this function finished.
+        excess_never_upgraded: slowdown of calls at levels the schedule
+            never upgrades beyond.
+    """
+
+    function: str
+    calls: int
+    bubbles: float
+    excess_before_upgrade: float
+    excess_never_upgraded: float
+
+    @property
+    def total(self) -> float:
+        return self.bubbles + self.excess_before_upgrade + self.excess_never_upgraded
+
+
+@dataclass(frozen=True)
+class GapDiagnosis:
+    """Full decomposition of a schedule's distance from the lower bound.
+
+    Attributes:
+        makespan: the schedule's make-span.
+        lower_bound: the exec-only bound.
+        bubbles: total execution-thread waiting time.
+        excess_before_upgrade: total timing-induced slowdown.
+        excess_never_upgraded: total policy-induced slowdown.
+        per_function: the same split per function, worst offenders first.
+    """
+
+    makespan: float
+    lower_bound: float
+    bubbles: float
+    excess_before_upgrade: float
+    excess_never_upgraded: float
+    per_function: Tuple[FunctionGap, ...]
+
+    @property
+    def gap(self) -> float:
+        """``makespan - lower_bound``."""
+        return self.makespan - self.lower_bound
+
+    @property
+    def normalized(self) -> float:
+        """``makespan / lower_bound``."""
+        return self.makespan / self.lower_bound if self.lower_bound else float("inf")
+
+    def top_offenders(self, n: int = 5) -> List[FunctionGap]:
+        """The ``n`` functions contributing most to the gap."""
+        return list(self.per_function[:n])
+
+    def rows(self, n: int = 10) -> List[Dict[str, object]]:
+        """Reporting-friendly rows for :func:`repro.analysis.format_table`."""
+        out: List[Dict[str, object]] = []
+        for item in self.top_offenders(n):
+            out.append(
+                {
+                    "function": item.function,
+                    "calls": item.calls,
+                    "bubbles": item.bubbles,
+                    "before_upgrade": item.excess_before_upgrade,
+                    "never_upgraded": item.excess_never_upgraded,
+                    "share_of_gap": item.total / self.gap if self.gap > 0 else 0.0,
+                }
+            )
+        return out
+
+
+def diagnose(
+    instance: OCSPInstance, schedule: Schedule, compile_threads: int = 1
+) -> GapDiagnosis:
+    """Decompose ``schedule``'s gap above the lower bound.
+
+    One streaming pass; O(N) time, O(M) memory.
+
+    Raises:
+        ScheduleError: if the schedule is invalid for the instance.
+    """
+    schedule.validate(instance)
+    profiles = instance.profiles
+    highest_scheduled: Dict[str, int] = {}
+    for task in schedule:
+        prev = highest_scheduled.get(task.function, -1)
+        if task.level > prev:
+            highest_scheduled[task.function] = task.level
+
+    bubbles: Dict[str, float] = {}
+    before_upgrade: Dict[str, float] = {}
+    never_upgraded: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    makespan = 0.0
+
+    for fname, level, _start, finish, bubble in iter_calls(
+        instance, schedule, compile_threads=compile_threads
+    ):
+        prof = profiles[fname]
+        counts[fname] = counts.get(fname, 0) + 1
+        if bubble > 0:
+            bubbles[fname] = bubbles.get(fname, 0.0) + bubble
+        excess = prof.exec_times[level] - prof.exec_times[-1]
+        if excess > 0:
+            if level < highest_scheduled[fname]:
+                before_upgrade[fname] = before_upgrade.get(fname, 0.0) + excess
+            else:
+                never_upgraded[fname] = never_upgraded.get(fname, 0.0) + excess
+        makespan = finish
+
+    per_function = [
+        FunctionGap(
+            function=fname,
+            calls=counts[fname],
+            bubbles=bubbles.get(fname, 0.0),
+            excess_before_upgrade=before_upgrade.get(fname, 0.0),
+            excess_never_upgraded=never_upgraded.get(fname, 0.0),
+        )
+        for fname in counts
+    ]
+    per_function.sort(key=lambda g: (-g.total, g.function))
+
+    return GapDiagnosis(
+        makespan=makespan,
+        lower_bound=lower_bound(instance),
+        bubbles=sum(bubbles.values()),
+        excess_before_upgrade=sum(before_upgrade.values()),
+        excess_never_upgraded=sum(never_upgraded.values()),
+        per_function=tuple(per_function),
+    )

@@ -1,0 +1,56 @@
+"""CSV export of experiment rows.
+
+The reporting module renders tables for terminals; this one writes the
+same rows as CSV so results can flow into pandas/R/spreadsheets without
+re-running anything.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+__all__ = ["rows_to_csv", "save_csv"]
+
+
+def rows_to_csv(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render dict-rows as CSV text.
+
+    Args:
+        rows: the rows (missing keys become empty cells).
+        columns: column order; defaults to the union of keys in first-
+            appearance order.
+
+    Raises:
+        ValueError: if there are no rows and no explicit columns.
+    """
+    if columns is None:
+        seen: Dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
+    if not columns:
+        raise ValueError("no rows and no columns — nothing to export")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=list(columns), extrasaction="ignore"
+    )
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({col: row.get(col, "") for col in columns})
+    return buffer.getvalue()
+
+
+def save_csv(
+    rows: Sequence[Dict[str, object]],
+    path: Union[str, Path],
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Write :func:`rows_to_csv` output to ``path``."""
+    Path(path).write_text(rows_to_csv(rows, columns=columns))

@@ -1,0 +1,69 @@
+"""Metrics used throughout the evaluation.
+
+The paper normalizes make-spans against the Section 5.2 lower bound
+(Figures 5, 6, 8) and reports concurrency speed-ups against the 1-core
+IAR make-span (Figure 7).  These helpers keep those conventions in one
+place.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = [
+    "normalized",
+    "gap",
+    "speedup",
+    "arithmetic_mean",
+    "geometric_mean",
+    "summarize_normalized",
+]
+
+
+def normalized(makespan: float, lower_bound: float) -> float:
+    """Make-span normalized to the lower bound (1.0 = at the bound)."""
+    if lower_bound <= 0:
+        raise ValueError("lower bound must be positive")
+    return makespan / lower_bound
+
+
+def gap(makespan: float, lower_bound: float) -> float:
+    """Relative gap above the lower bound: ``makespan/lb - 1``.
+
+    The paper speaks of e.g. "a gap greater than 50%"; that is
+    ``gap > 0.5``.
+    """
+    return normalized(makespan, lower_bound) - 1.0
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """``baseline / improved`` (>1 means ``improved`` is faster)."""
+    if improved <= 0:
+        raise ValueError("improved make-span must be positive")
+    return baseline / improved
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def summarize_normalized(per_benchmark: Dict[str, float]) -> Dict[str, float]:
+    """Mean/min/max summary of normalized make-spans across a suite."""
+    values = list(per_benchmark.values())
+    return {
+        "mean": arithmetic_mean(values),
+        "geomean": geometric_mean(values),
+        "min": min(values),
+        "max": max(values),
+    }

@@ -1,0 +1,116 @@
+"""Plain-text rendering of experiment rows.
+
+Examples and benchmark harnesses print through these helpers so every
+figure/table reproduction has a uniform, diff-friendly text form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_figure", "render_rows", "format_timeline"]
+
+
+def _fmt(value: object, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render dict-rows as an aligned ASCII table.
+
+    Args:
+        rows: the rows (all sharing a key set; missing keys render '-').
+        columns: column order; defaults to the first row's key order.
+        title: optional heading line.
+        precision: decimal places for floats.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    header = [str(c) for c in cols]
+    body = [[_fmt(row.get(c), precision) for c in cols] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(cols))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_figure(
+    rows: Sequence[Dict[str, object]],
+    series: Sequence[str],
+    label_key: str = "benchmark",
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render figure-style rows: one label column plus named series.
+
+    This mirrors the paper's grouped-bar figures as text: each row is a
+    benchmark, each series a bar.
+    """
+    return format_table(
+        rows, columns=[label_key, *series], title=title, precision=precision
+    )
+
+
+def format_timeline(result, precision: int = 1) -> str:
+    """Render a simulated run the way the paper's Figures 1–2 do:
+    execution events (core-1) next to compilation events (core-2+).
+
+    Args:
+        result: a :class:`~repro.core.makespan.MakespanResult` produced
+            with ``record_timeline=True``.
+        precision: decimal places for times.
+
+    Raises:
+        ValueError: if the result carries no timeline.
+    """
+    if result.task_timings is None or result.call_timings is None:
+        raise ValueError("simulate(..., record_timeline=True) required")
+    events = []
+    for t in result.task_timings:
+        events.append((t.start, f"compile[{t.thread}]", f"C{t.level}({t.function})", t.finish))
+    for c in result.call_timings:
+        label = f"e{c.level}({c.function})"
+        if c.bubble > 0:
+            label += f"  (bubble {c.bubble:.{precision}f})"
+        events.append((c.start, "execute", label, c.finish))
+    events.sort(key=lambda e: (e[0], e[1]))
+    width = max(len(e[2]) for e in events)
+    lines = [
+        f"{'start':>8}  {'finish':>8}  {'unit':<11} event",
+        f"{'-----':>8}  {'------':>8}  {'----':<11} -----",
+    ]
+    for start, unit, label, finish in events:
+        lines.append(
+            f"{start:>8.{precision}f}  {finish:>8.{precision}f}  {unit:<11} "
+            f"{label.ljust(width)}"
+        )
+    lines.append(f"make-span: {result.makespan:.{precision}f}")
+    return "\n".join(lines)
+
+
+def render_rows(rows: Iterable[Dict[str, object]], precision: int = 3) -> str:
+    """One ``key=value`` line per row — handy for logs."""
+    lines = []
+    for row in rows:
+        parts = [f"{k}={_fmt(v, precision)}" for k, v in row.items()]
+        lines.append(" ".join(parts))
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Workload-parameter sensitivity analysis.
+
+The scheduling results depend on a handful of workload ratios (hotness
+skew, compile/exec balance, optimization payoff — see DESIGN.md §6).
+This module sweeps one :class:`~repro.workloads.synthetic.WorkloadSpec`
+parameter at a time and reports how the Figure-5 metrics respond, so
+the calibration is an *experiment*, not a folk theorem.  It also
+answers the practical question the limit study raises: in which cost
+regimes does scheduling matter most?
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+from ..core.bounds import lower_bound
+from ..core.iar import iar_schedule
+from ..core.makespan import simulate
+from ..core.single_level import base_level_schedule
+from ..vm.costbenefit import EstimatedModel
+from ..vm.jikes import run_jikes
+from ..workloads.synthetic import WorkloadSpec, generate
+from .experiments import project_to_model_levels
+
+__all__ = ["sweep_parameter", "DEFAULT_BASE_SPEC"]
+
+DEFAULT_BASE_SPEC = WorkloadSpec(
+    name="sensitivity",
+    num_functions=120,
+    num_calls=40_000,
+    num_levels=4,
+    zipf_s=1.45,
+    mean_exec_us=2.0,
+    base_compile_us=20.0,
+    level_compile_factors=(1.0, 15.0, 45.0, 120.0),
+    max_speedup_range=(3.0, 15.0),
+)
+"""A mid-size workload in the calibrated regime, used as sweep origin."""
+
+
+def _measure(spec: WorkloadSpec, seed: int) -> Dict[str, float]:
+    instance = generate(spec, seed=seed)
+    model = EstimatedModel(instance)
+    projected = project_to_model_levels(instance, model)
+    lb = lower_bound(projected)
+    iar_span = simulate(
+        projected, iar_schedule(projected), validate=False
+    ).makespan
+    jikes_span = run_jikes(projected, model=EstimatedModel(projected)).makespan
+    base_span = simulate(
+        projected, base_level_schedule(projected), validate=False
+    ).makespan
+    return {
+        "iar": iar_span / lb,
+        "jikes": jikes_span / lb,
+        "base_level": base_span / lb,
+        "scheduling_payoff": jikes_span / iar_span,
+    }
+
+
+def sweep_parameter(
+    parameter: str,
+    values: Sequence,
+    base_spec: WorkloadSpec = DEFAULT_BASE_SPEC,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Vary one spec field, measure the Figure-5 metrics at each value.
+
+    Args:
+        parameter: a :class:`WorkloadSpec` field name (e.g. ``zipf_s``,
+            ``base_compile_us``, ``max_speedup_range``, ``num_phases``).
+        values: values to sweep over.
+        base_spec: the spec every other field comes from.
+        seed: workload seed, fixed across the sweep so only the swept
+            parameter changes.
+
+    Returns:
+        One row per value: ``{parameter, iar, jikes, base_level,
+        scheduling_payoff}`` where ``scheduling_payoff`` is the Jikes/IAR
+        make-span ratio (how much a planned order buys).
+
+    Raises:
+        TypeError: if ``parameter`` is not a spec field.
+    """
+    if parameter not in WorkloadSpec.__dataclass_fields__:
+        raise TypeError(f"{parameter!r} is not a WorkloadSpec field")
+    rows: List[Dict[str, object]] = []
+    for value in values:
+        spec = replace(base_spec, **{parameter: value})
+        row: Dict[str, object] = {parameter: value}
+        row.update(_measure(spec, seed))
+        rows.append(row)
+    return rows

@@ -1,0 +1,290 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's workflow:
+
+* ``generate`` — produce a trace file (a Table-1 preset or a custom
+  synthetic spec);
+* ``schedule`` — run a scheduling algorithm on a trace, writing the
+  schedule;
+* ``evaluate`` — simulate a schedule against a trace (make-span,
+  bubbles, normalized gap);
+* ``diagnose`` — decompose a schedule's gap above the lower bound;
+* ``study`` — regenerate the paper's tables and figures;
+* ``walkthrough`` — the Figures 1–2 worked example.
+
+Every command reads/writes the JSON formats of
+:mod:`repro.workloads.traces`, so pipelines compose:
+
+.. code-block:: console
+
+   $ python -m repro generate --benchmark antlr --scale 0.01 -o antlr.json
+   $ python -m repro schedule antlr.json --algorithm iar -o antlr.iar.json
+   $ python -m repro evaluate antlr.json antlr.iar.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .analysis import (
+    astar_scaling,
+    average_row,
+    diagnose,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    format_figure,
+    format_table,
+    table1,
+    table2,
+)
+from .core import (
+    Schedule,
+    greedy_budget_schedule,
+    hotness_first_schedule,
+    iar_schedule,
+    lower_bound,
+    ondemand_promotion_schedule,
+    simulate,
+)
+from .core.single_level import base_level_schedule, optimizing_level_schedule
+from .vm.jikes import run_jikes
+from .vm.v8 import run_v8
+from .workloads import WorkloadSpec, dacapo, generate, traces
+
+__all__ = ["main", "build_parser"]
+
+_FIGURE_SERIES = ["lower_bound", "iar", "default", "base_level", "optimizing_level"]
+
+
+def _schedulers() -> Dict[str, Callable]:
+    return {
+        "iar": iar_schedule,
+        "base": base_level_schedule,
+        "opt": optimizing_level_schedule,
+        "hotness": hotness_first_schedule,
+        "budget": greedy_budget_schedule,
+        "ondemand": ondemand_promotion_schedule,
+        "jikes": lambda inst: run_jikes(inst).schedule,
+        "v8": lambda inst: run_v8(inst).schedule,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and ``--help`` docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Compilation scheduling for JIT-based runtime systems "
+            "(ASPLOS 2014 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a trace file")
+    gen.add_argument("--benchmark", choices=sorted(dacapo.BENCHMARKS), default=None)
+    gen.add_argument("--scale", type=float, default=0.01)
+    gen.add_argument("--functions", type=int, default=100)
+    gen.add_argument("--calls", type=int, default=10_000)
+    gen.add_argument("--levels", type=int, default=4)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True)
+
+    sch = sub.add_parser("schedule", help="schedule a trace")
+    sch.add_argument("trace")
+    sch.add_argument(
+        "--algorithm", choices=sorted(_schedulers()), default="iar"
+    )
+    sch.add_argument("-o", "--output", required=True)
+
+    ev = sub.add_parser("evaluate", help="simulate a schedule on a trace")
+    ev.add_argument("trace")
+    ev.add_argument("schedule")
+    ev.add_argument("--threads", type=int, default=1)
+
+    diag = sub.add_parser("diagnose", help="decompose a schedule's gap")
+    diag.add_argument("trace")
+    diag.add_argument("schedule")
+    diag.add_argument("--top", type=int, default=10)
+
+    study = sub.add_parser("study", help="regenerate the paper's evaluation")
+    study.add_argument("--scale", type=float, default=0.01)
+    study.add_argument(
+        "--figure",
+        choices=["table1", "fig5", "fig6", "fig7", "fig8", "table2", "astar", "all"],
+        default="all",
+    )
+
+    imp = sub.add_parser(
+        "import-trace", help="build a trace from a profiler call log + cost CSV"
+    )
+    imp.add_argument("call_log")
+    imp.add_argument("cost_table")
+    imp.add_argument("--name", default="imported")
+    imp.add_argument("-o", "--output", required=True)
+
+    sub.add_parser("walkthrough", help="the Figures 1-2 worked example")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.benchmark:
+        instance = dacapo.load(args.benchmark, scale=args.scale, seed=args.seed or None)
+    else:
+        spec = WorkloadSpec(
+            name=f"cli-{args.seed}",
+            num_functions=args.functions,
+            num_calls=args.calls,
+            num_levels=args.levels,
+        )
+        instance = generate(spec, seed=args.seed)
+    traces.save(instance, args.output)
+    print(
+        f"wrote {args.output}: {instance.num_calls} calls over "
+        f"{instance.num_functions} functions"
+    )
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    instance = traces.load(args.trace)
+    schedule = _schedulers()[args.algorithm](instance)
+    traces.save_schedule(schedule, args.output)
+    print(f"wrote {args.output}: {len(schedule)} compile tasks ({args.algorithm})")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    instance = traces.load(args.trace)
+    schedule = traces.load_schedule(args.schedule)
+    result = simulate(instance, schedule, compile_threads=args.threads)
+    lb = lower_bound(instance)
+    print(f"make-span:        {result.makespan:.1f}")
+    print(f"lower bound:      {lb:.1f}")
+    print(f"normalized:       {result.makespan / lb:.3f}")
+    print(f"bubbles:          {result.total_bubble_time:.1f}")
+    print(f"execution:        {result.total_exec_time:.1f}")
+    print(f"calls per level:  {dict(sorted(result.calls_at_level.items()))}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    instance = traces.load(args.trace)
+    schedule = traces.load_schedule(args.schedule)
+    report = diagnose(instance, schedule)
+    print(f"make-span {report.makespan:.1f} = lower bound {report.lower_bound:.1f}"
+          f" + bubbles {report.bubbles:.1f}"
+          f" + pre-upgrade excess {report.excess_before_upgrade:.1f}"
+          f" + never-upgraded excess {report.excess_never_upgraded:.1f}")
+    print()
+    print(format_table(report.rows(args.top), title="worst offenders"))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    wanted = args.figure
+    if wanted in ("table1", "all"):
+        print(format_table(table1(scale=args.scale), title="Table 1", precision=1))
+        print()
+    if wanted in ("fig5", "fig6", "fig7", "fig8", "table2", "all"):
+        suite = dacapo.load_suite(scale=args.scale)
+        if wanted in ("fig5", "all"):
+            rows = figure5(suite)
+            rows.insert(0, average_row(rows, _FIGURE_SERIES))
+            print(format_figure(rows, _FIGURE_SERIES, title="Figure 5"))
+            print()
+        if wanted in ("fig6", "all"):
+            rows = figure6(suite)
+            rows.insert(0, average_row(rows, _FIGURE_SERIES))
+            print(format_figure(rows, _FIGURE_SERIES, title="Figure 6"))
+            print()
+        if wanted in ("fig7", "all"):
+            rows = figure7(suite)
+            cores = [c for c in rows[0] if c.startswith("cores_")]
+            rows.insert(0, average_row(rows, cores))
+            print(format_figure(rows, cores, title="Figure 7"))
+            print()
+        if wanted in ("fig8", "all"):
+            rows = figure8(suite)
+            rows.insert(0, average_row(rows, _FIGURE_SERIES))
+            print(format_figure(rows, _FIGURE_SERIES, title="Figure 8"))
+            print()
+        if wanted in ("table2", "all"):
+            print(format_table(table2(suite), title="Table 2", precision=4))
+            print()
+    if wanted in ("astar", "all"):
+        print(
+            format_table(
+                astar_scaling(max_frontier=200_000),
+                title="A*-search feasibility",
+                precision=1,
+            )
+        )
+    return 0
+
+
+def _cmd_import_trace(args: argparse.Namespace) -> int:
+    from .workloads.call_log import instance_from_logs
+
+    instance = instance_from_logs(args.call_log, args.cost_table, name=args.name)
+    traces.save(instance, args.output)
+    print(
+        f"wrote {args.output}: {instance.num_calls} calls over "
+        f"{instance.num_functions} functions"
+    )
+    return 0
+
+
+def _cmd_walkthrough(_args: argparse.Namespace) -> int:
+    from .analysis import format_timeline
+    from .core import FunctionProfile, OCSPInstance, optimal_schedule
+
+    profiles = {
+        "f0": FunctionProfile("f0", (1.0,), (1.0,)),
+        "f1": FunctionProfile("f1", (1.0, 4.0), (3.0, 2.0)),
+        "f2": FunctionProfile("f2", (1.0, 5.0), (3.0, 1.0)),
+    }
+    fig1 = OCSPInstance(profiles, ("f0", "f1", "f2", "f1"), name="fig1")
+    schemes = {
+        "s1 (all level 0)": Schedule.of(("f0", 0), ("f1", 0), ("f2", 0)),
+        "s2 (f1 at level 1)": Schedule.of(("f0", 0), ("f1", 1), ("f2", 0)),
+        "s3 (f1 twice)": Schedule.of(
+            ("f0", 0), ("f1", 0), ("f2", 0), ("f1", 1)
+        ),
+    }
+    print("Figure 1: call sequence f0 f1 f2 f1")
+    for title, schedule in schemes.items():
+        result = simulate(fig1, schedule, record_timeline=True)
+        print(f"--- {title} ---")
+        print(format_timeline(result))
+        print()
+    fig2 = OCSPInstance(profiles, ("f0", "f1", "f2", "f1", "f2"), name="fig2")
+    exact = optimal_schedule(fig2)
+    print(
+        f"Figure 2 optimum (one more f2 call): make-span "
+        f"{exact.makespan:.0f} via {exact.schedule}"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "schedule": _cmd_schedule,
+        "evaluate": _cmd_evaluate,
+        "diagnose": _cmd_diagnose,
+        "study": _cmd_study,
+        "import-trace": _cmd_import_trace,
+        "walkthrough": _cmd_walkthrough,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

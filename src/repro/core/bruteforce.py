@@ -1,0 +1,142 @@
+"""Exhaustive optimal scheduling for tiny OCSP instances.
+
+Because OCSP is NP-complete (Theorem 2), the only way to obtain ground
+truth is enumeration.  This module enumerates every valid compilation
+schedule of a tiny instance and returns the best one.  It exists to
+validate the IAR heuristic and the A*-search against the true optimum in
+tests, and to reproduce the example figures.
+
+A valid schedule assigns each called function a non-empty strictly
+increasing subsequence of its levels and interleaves these per-function
+chains arbitrarily.  Appending extra (useless) tasks at the end never
+changes the make-span — the make-span ends with the last execution — so
+enumerating all "chain choices x interleavings" covers the optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Tuple
+
+from .makespan import simulate
+from .model import OCSPInstance
+from .schedule import CompileTask, Schedule
+
+__all__ = ["BruteForceResult", "optimal_schedule", "SearchBudgetExceeded"]
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when enumeration would exceed the configured node budget."""
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """Optimal schedule found by enumeration.
+
+    Attributes:
+        schedule: a make-span-minimizing schedule.
+        makespan: its make-span.
+        schedules_evaluated: number of complete schedules simulated.
+    """
+
+    schedule: Schedule
+    makespan: float
+    schedules_evaluated: int
+
+
+def _level_chains(num_levels: int) -> List[Tuple[int, ...]]:
+    """All non-empty strictly increasing level subsequences."""
+    chains: List[Tuple[int, ...]] = []
+    levels = list(range(num_levels))
+    for size in range(1, num_levels + 1):
+        chains.extend(combinations(levels, size))
+    return chains
+
+
+def optimal_schedule(
+    instance: OCSPInstance,
+    compile_threads: int = 1,
+    max_schedules: int = 2_000_000,
+) -> BruteForceResult:
+    """Enumerate all valid schedules and return a best one.
+
+    Args:
+        instance: the (tiny!) OCSP instance.
+        compile_threads: compiler-thread count for the simulation.
+        max_schedules: abort (raising :class:`SearchBudgetExceeded`)
+            before evaluating more complete schedules than this.
+
+    Raises:
+        SearchBudgetExceeded: when the instance is too large to
+            enumerate within ``max_schedules``.
+        ValueError: if the instance has no calls.
+    """
+    functions = instance.called_functions
+    if not functions:
+        raise ValueError("instance has no calls; nothing to schedule")
+
+    chain_options: Dict[str, List[Tuple[int, ...]]] = {
+        fname: _level_chains(instance.profiles[fname].num_levels)
+        for fname in functions
+    }
+
+    best_schedule: Optional[Schedule] = None
+    best_makespan = float("inf")
+    evaluated = 0
+
+    # Enumerate chain assignments, then all interleavings of the chains.
+    def assign(idx: int, chosen: Dict[str, Tuple[int, ...]]) -> None:
+        nonlocal best_schedule, best_makespan, evaluated
+        if idx == len(functions):
+            for sched in _interleavings(functions, chosen):
+                evaluated += 1
+                if evaluated > max_schedules:
+                    raise SearchBudgetExceeded(
+                        f"more than {max_schedules} schedules to evaluate"
+                    )
+                result = simulate(
+                    instance, sched, compile_threads=compile_threads, validate=False
+                )
+                if result.makespan < best_makespan:
+                    best_makespan = result.makespan
+                    best_schedule = sched
+            return
+        fname = functions[idx]
+        for chain in chain_options[fname]:
+            chosen[fname] = chain
+            assign(idx + 1, chosen)
+        del chosen[fname]
+
+    assign(0, {})
+    assert best_schedule is not None
+    return BruteForceResult(
+        schedule=best_schedule,
+        makespan=best_makespan,
+        schedules_evaluated=evaluated,
+    )
+
+
+def _interleavings(
+    functions: List[str], chains: Dict[str, Tuple[int, ...]]
+):
+    """Yield every interleaving of the per-function level chains."""
+    progress = {fname: 0 for fname in functions}
+    total = sum(len(chains[f]) for f in functions)
+    prefix: List[CompileTask] = []
+
+    def rec():
+        if len(prefix) == total:
+            yield Schedule(tuple(prefix))
+            return
+        for fname in functions:
+            i = progress[fname]
+            if i >= len(chains[fname]):
+                continue
+            progress[fname] = i + 1
+            prefix.append(CompileTask(fname, chains[fname][i]))
+            yield from rec()
+            prefix.pop()
+            progress[fname] = i
+
+    yield from rec()

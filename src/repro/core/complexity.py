@@ -1,0 +1,272 @@
+"""NP-completeness machinery: reductions onto OCSP (Section 4.2, Theorem 2).
+
+The paper proves OCSP NP-complete by reduction from PARTITION: given
+non-negative integers ``S = {s_1..s_n}`` with ``t = sum(S)/2``, build
+
+* one *middle* function per ``s_i`` with ``c_i1 = 1``, ``c_i2 = s_i + 1``,
+  ``e_i1 = s_i + 1``, ``e_i2 = 1``;
+* a *first* function (compile 1, execute ``t + n`` at every level);
+* a *last* function (compile ``t + n``, execute 1 at every level);
+
+and the call sequence ``first, m_1..m_n, last`` (each function once).
+Then a schedule with make-span ``2 * (1 + t + n)`` exists **iff** ``S``
+admits a partition: the subset compiled at level 1 executes long
+(``s_i + 1``) and compiles short (1), its complement the reverse, and
+equality of the two machines' loads forces the subset sums to ``t``.
+
+This module implements the construction, the forward direction (build
+the witness schedule from a partition and check its make-span), the
+converse (extract a partition from any schedule achieving the bound), a
+DP PARTITION solver for cross-checks, and a 3-SAT → SUBSET-SUM →
+PARTITION → OCSP chain.  The paper's *strong* NP-completeness gadget
+(3-SAT directly to OCSP with polynomially bounded numbers) lives in an
+unavailable technical report; the chain here demonstrates ordinary
+NP-hardness only — see DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .makespan import simulate
+from .model import FunctionProfile, OCSPInstance
+from .schedule import CompileTask, Schedule
+
+__all__ = [
+    "PartitionReduction",
+    "ocsp_from_partition",
+    "schedule_from_partition_subset",
+    "extract_partition_subset",
+    "solve_partition",
+    "subset_sum_from_3sat",
+    "partition_from_subset_sum",
+    "ocsp_from_3sat",
+]
+
+FIRST = "__first__"
+LAST = "__last__"
+
+
+def _middle_name(index: int) -> str:
+    return f"m{index}"
+
+
+@dataclass(frozen=True)
+class PartitionReduction:
+    """The OCSP instance built from a PARTITION instance.
+
+    Attributes:
+        instance: the constructed OCSP instance.
+        values: the original integers ``S``.
+        target: ``t = sum(S) / 2``.
+        optimal_makespan: ``2 * (1 + t + n)`` — achievable iff a
+            partition exists.
+    """
+
+    instance: OCSPInstance
+    values: Tuple[int, ...]
+    target: int
+    optimal_makespan: float
+
+
+def ocsp_from_partition(values: Sequence[int]) -> PartitionReduction:
+    """Build the paper's OCSP instance from PARTITION input ``values``.
+
+    Raises:
+        ValueError: if any value is negative or the total is odd (an odd
+            total trivially has no partition, and ``t`` would not be an
+            integer as the construction requires).
+    """
+    if any(v < 0 for v in values):
+        raise ValueError("PARTITION values must be non-negative")
+    total = sum(values)
+    if total % 2 != 0:
+        raise ValueError(
+            f"sum of values is odd ({total}); no partition can exist and "
+            "the construction requires an integer target"
+        )
+    t = total // 2
+    n = len(values)
+
+    profiles: Dict[str, FunctionProfile] = {
+        FIRST: FunctionProfile(
+            name=FIRST,
+            compile_times=(1.0, 1.0),
+            exec_times=(float(t + n), float(t + n)),
+        ),
+        LAST: FunctionProfile(
+            name=LAST,
+            compile_times=(float(t + n), float(t + n)),
+            exec_times=(1.0, 1.0),
+        ),
+    }
+    for i, s in enumerate(values):
+        profiles[_middle_name(i)] = FunctionProfile(
+            name=_middle_name(i),
+            compile_times=(1.0, float(s + 1)),
+            exec_times=(float(s + 1), 1.0),
+        )
+
+    calls = (FIRST,) + tuple(_middle_name(i) for i in range(n)) + (LAST,)
+    instance = OCSPInstance(
+        profiles=profiles, calls=calls, name=f"partition(n={n}, t={t})"
+    )
+    return PartitionReduction(
+        instance=instance,
+        values=tuple(values),
+        target=t,
+        optimal_makespan=2.0 * (1 + t + n),
+    )
+
+
+def schedule_from_partition_subset(
+    reduction: PartitionReduction, subset: Set[int]
+) -> Schedule:
+    """The witness schedule for a partition subset ``X`` (by index).
+
+    Functions in ``X`` are compiled at level 0 (``c=1``, the fast
+    compile whose code executes in ``s_i + 1``); functions outside ``X``
+    at level 1 (``c = s_i + 1``, code executes in 1).  Ordering:
+    ``first``, middles in call order, ``last``.
+
+    Note the paper's levels are 1-indexed; our level 0 is its level 1.
+    """
+    tasks: List[CompileTask] = [CompileTask(FIRST, 0)]
+    for i in range(len(reduction.values)):
+        level = 0 if i in subset else 1
+        tasks.append(CompileTask(_middle_name(i), level))
+    tasks.append(CompileTask(LAST, 0))
+    return Schedule(tuple(tasks))
+
+
+def verify_partition_subset(
+    reduction: PartitionReduction, subset: Set[int]
+) -> bool:
+    """True iff ``subset`` is a valid partition (sums to the target)."""
+    return sum(reduction.values[i] for i in subset) == reduction.target
+
+
+def extract_partition_subset(
+    reduction: PartitionReduction, schedule: Schedule
+) -> Optional[Set[int]]:
+    """The converse direction of the proof.
+
+    If ``schedule`` achieves make-span ``2 * (1 + t + n)``, the set of
+    middle functions compiled at the *high* level must sum to exactly
+    ``t`` (machine C must work constantly except the last time-step).
+    Returns that index set, or ``None`` if the schedule does not achieve
+    the bound.
+    """
+    result = simulate(reduction.instance, schedule, validate=False)
+    if result.makespan > reduction.optimal_makespan:
+        return None
+    high_compiled: Set[int] = set()
+    for i in range(len(reduction.values)):
+        level = schedule.highest_level_of(_middle_name(i))
+        if level == 1:
+            high_compiled.add(i)
+    if sum(reduction.values[i] for i in high_compiled) != reduction.target:
+        return None
+    return high_compiled
+
+
+def solve_partition(values: Sequence[int]) -> Optional[Set[int]]:
+    """Pseudo-polynomial DP PARTITION solver (for cross-checking).
+
+    Returns an index subset summing to ``sum(values)/2``, or ``None``.
+    """
+    total = sum(values)
+    if total % 2 != 0:
+        return None
+    target = total // 2
+    # layers[i] = sums reachable using the first i values.
+    layers: List[Set[int]] = [{0}]
+    for v in values:
+        prev = layers[-1]
+        layers.append(prev | {s + v for s in prev if s + v <= target})
+    if target not in layers[-1]:
+        return None
+    subset: Set[int] = set()
+    s = target
+    for i in range(len(values), 0, -1):
+        if s in layers[i - 1]:
+            continue  # value i-1 not needed to reach s
+        subset.add(i - 1)
+        s -= values[i - 1]
+    assert s == 0
+    return subset
+
+
+# ----------------------------------------------------------------------
+# 3-SAT chain
+# ----------------------------------------------------------------------
+Clause = Tuple[int, int, int]
+"""A 3-SAT clause: three non-zero ints; ``k`` means variable ``|k|``,
+negative for a negated literal (DIMACS convention)."""
+
+
+def subset_sum_from_3sat(clauses: Sequence[Clause]) -> Tuple[List[int], int]:
+    """Classic 3-SAT → SUBSET-SUM reduction (base-10 digit construction).
+
+    Returns ``(values, target)`` such that a subset of ``values`` sums to
+    ``target`` iff the formula is satisfiable.
+    """
+    if not clauses:
+        raise ValueError("formula must have at least one clause")
+    variables = sorted({abs(lit) for clause in clauses for lit in clause})
+    if any(len({abs(l) for l in clause}) != 3 for clause in clauses):
+        raise ValueError("each clause needs three distinct variables")
+    var_pos = {v: i for i, v in enumerate(variables)}
+    n_vars = len(variables)
+    n_clauses = len(clauses)
+    width = n_vars + n_clauses
+
+    def digits_to_int(digits: List[int]) -> int:
+        value = 0
+        for d in digits:
+            value = value * 10 + d
+        return value
+
+    values: List[int] = []
+    for v in variables:
+        for polarity in (1, -1):
+            digits = [0] * width
+            digits[var_pos[v]] = 1
+            for ci, clause in enumerate(clauses):
+                if (polarity * v) in clause:
+                    digits[n_vars + ci] = 1
+            values.append(digits_to_int(digits))
+    for ci in range(n_clauses):
+        for _slack in range(2):  # two slack items per clause
+            digits = [0] * width
+            digits[n_vars + ci] = 1
+            values.append(digits_to_int(digits))
+
+    target_digits = [1] * n_vars + [3] * n_clauses
+    return values, digits_to_int(target_digits)
+
+
+def partition_from_subset_sum(values: Sequence[int], target: int) -> List[int]:
+    """Classic SUBSET-SUM → PARTITION reduction.
+
+    Adds two elements so the new multiset partitions evenly iff some
+    subset of ``values`` sums to ``target``.
+    """
+    total = sum(values)
+    if not 0 <= target <= total:
+        raise ValueError("target must lie in [0, sum(values)]")
+    return list(values) + [total + 1 - target, target + 1]
+
+
+def ocsp_from_3sat(clauses: Sequence[Clause]) -> PartitionReduction:
+    """3-SAT → SUBSET-SUM → PARTITION → OCSP.
+
+    The resulting instance's ``optimal_makespan`` is achievable iff the
+    formula is satisfiable.  Values are exponential in the formula size
+    (ordinary NP-hardness); the paper's strong-NPC gadget is in its
+    unavailable technical report.
+    """
+    values, target = subset_sum_from_3sat(clauses)
+    partition_values = partition_from_subset_sum(values, target)
+    return ocsp_from_partition(partition_values)

@@ -1,0 +1,101 @@
+"""Interpreter-tier support (Section 8).
+
+Some runtimes (V8 at the time, HotSpot, every bytecode VM) begin by
+*interpreting* code: execution can start immediately, with no compile
+latency at all, at the cost of slow execution.  The paper observes that
+"if we treat interpretation as the lowest level compilation in the
+optimal compilation schedule problem, the analysis and algorithms
+discussed in this paper can still be applied."
+
+This module makes that treatment concrete:
+
+* :func:`with_interpreter_tier` prepends a level with **zero compile
+  time** and a configurable slowdown to every profile;
+* :func:`interpreter_prelude` is the zero-cost "compile everything at
+  the interpreter tier" prefix — after it, every function is runnable
+  at t=0, so *no schedule can ever have bubbles*;
+* :func:`lift_schedule` translates a schedule for the original
+  instance onto the tiered instance (levels shift by one, the prelude
+  goes first).
+
+The key property, verified in tests: on a tiered instance with the
+prelude, ``makespan == total execution time`` for every schedule —
+scheduling still matters, but only through *which level each call
+runs at*, never through waiting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .model import FunctionProfile, OCSPInstance
+from .schedule import CompileTask, Schedule
+
+__all__ = ["with_interpreter_tier", "interpreter_prelude", "lift_schedule"]
+
+
+def with_interpreter_tier(
+    instance: OCSPInstance, slowdown: float = 4.0
+) -> OCSPInstance:
+    """Add an interpretation tier below every function's level 0.
+
+    The new level 0 has compile time 0 and execution time
+    ``slowdown * e[old level 0]``; previous levels shift up by one.
+
+    Args:
+        instance: the original (compile-only) instance.
+        slowdown: how much slower interpretation is than the baseline
+            compiler's code (>= 1).
+
+    Raises:
+        ValueError: if ``slowdown < 1`` (the tier must not be faster
+            than compiled code, or monotonicity breaks).
+    """
+    if slowdown < 1.0:
+        raise ValueError("interpreter slowdown must be >= 1")
+    profiles: Dict[str, FunctionProfile] = {}
+    for fname, prof in instance.profiles.items():
+        profiles[fname] = FunctionProfile(
+            name=fname,
+            compile_times=(0.0,) + prof.compile_times,
+            exec_times=(prof.exec_times[0] * slowdown,) + prof.exec_times,
+        )
+    return OCSPInstance(
+        profiles=profiles, calls=instance.calls, name=f"{instance.name}+interp"
+    )
+
+
+def interpreter_prelude(instance: OCSPInstance) -> Schedule:
+    """The zero-cost prefix making every called function interpretable.
+
+    Must be used on an instance produced by
+    :func:`with_interpreter_tier` (level 0 compile times all zero).
+
+    Raises:
+        ValueError: if any called function's level 0 is not free.
+    """
+    for fname in instance.called_functions:
+        if instance.profiles[fname].compile_times[0] != 0.0:
+            raise ValueError(
+                f"{fname!r} has a non-zero level-0 compile time; did you "
+                "forget with_interpreter_tier()?"
+            )
+    return Schedule(
+        tuple(CompileTask(fname, 0) for fname in instance.called_functions)
+    )
+
+
+def lift_schedule(
+    tiered_instance: OCSPInstance, schedule: Schedule
+) -> Schedule:
+    """Translate an original-instance schedule onto the tiered instance.
+
+    Level ``j`` becomes ``j + 1`` and the interpreter prelude is
+    prepended, so the lifted schedule is valid for the tiered instance
+    and preserves the original compilation decisions.
+    """
+    prelude = interpreter_prelude(tiered_instance)
+    shifted = tuple(
+        CompileTask(task.function, task.level + 1) for task in schedule
+    )
+    return Schedule(prelude.tasks + shifted)

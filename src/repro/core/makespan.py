@@ -1,0 +1,372 @@
+"""Deterministic make-span simulation for compilation schedules.
+
+This is the reproduction of the paper's measurement component (Section
+6.1): *"the experimental framework includes a component that, for a given
+compilation schedule, computes the make-span of a call sequence based on
+the compilation and execution times of the involved functions, along with
+the number of cores used for compilation and execution."*
+
+Model (Sections 3, 4.2, 6.2.3):
+
+* One execution thread processes the call sequence in order.
+* ``compile_threads`` compiler threads process the schedule's tasks in
+  order — when a thread becomes free it takes the next task (a FIFO
+  queue, as in Jikes RVM's compilation thread).
+* Compilation starts at time 0; an invocation of ``f`` cannot start
+  before the first compilation of ``f`` has finished.  Waiting time on
+  the execution thread is a *bubble*.
+* An invocation runs the code of the best (highest-level) compilation of
+  ``f`` that has finished by the moment the invocation starts.  With a
+  single compiler thread this coincides with the paper's "latest
+  compilation wins" rule because valid schedules only recompile at
+  strictly higher levels.
+* The make-span is the time from the start of the first compilation
+  event to the end of program execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .model import OCSPInstance
+from .schedule import Schedule, ScheduleError
+
+__all__ = [
+    "TaskTiming",
+    "CallTiming",
+    "MakespanResult",
+    "simulate",
+    "simulate_single_core",
+    "iter_calls",
+]
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """Start/finish of one compile task, and the thread that ran it."""
+
+    function: str
+    level: int
+    start: float
+    finish: float
+    thread: int
+
+
+@dataclass(frozen=True)
+class CallTiming:
+    """Start/finish of one invocation, the level it ran at, and the
+    bubble (waiting time) that preceded it."""
+
+    function: str
+    level: int
+    start: float
+    finish: float
+    bubble: float
+
+
+@dataclass(frozen=True)
+class MakespanResult:
+    """Outcome of a make-span simulation.
+
+    Attributes:
+        makespan: time from the first compilation's start (t=0) to the
+            end of the last invocation.
+        exec_end: same as ``makespan`` (kept for clarity in formulas).
+        compile_end: finish time of the last compile task; may exceed
+            ``makespan`` when the tail of the schedule is useless.
+        total_bubble_time: total time the execution thread spent waiting
+            for compilations (the paper's "bubbles").
+        total_exec_time: sum of the invocation running times.
+        calls_at_level: histogram ``{level: number of invocations}``.
+        task_timings: per-task timeline (only when ``record_timeline``).
+        call_timings: per-call timeline (only when ``record_timeline``).
+    """
+
+    makespan: float
+    compile_end: float
+    total_bubble_time: float
+    total_exec_time: float
+    calls_at_level: Dict[int, int]
+    task_timings: Optional[Tuple[TaskTiming, ...]] = None
+    call_timings: Optional[Tuple[CallTiming, ...]] = None
+
+    @property
+    def exec_end(self) -> float:
+        return self.makespan
+
+
+def _compile_task_finishes(
+    instance: OCSPInstance, schedule: Schedule, compile_threads: int
+) -> Tuple[List[float], List[float], List[int]]:
+    """Compute start/finish times of every task and the thread used.
+
+    Tasks are assigned FIFO: each task goes to the compiler thread that
+    becomes free earliest (ties broken by thread id for determinism).
+    """
+    starts: List[float] = []
+    finishes: List[float] = []
+    threads_used: List[int] = []
+    if compile_threads == 1:
+        # Fast path: back-to-back on one thread.
+        t = 0.0
+        for task in schedule:
+            c = instance.profiles[task.function].compile_times[task.level]
+            starts.append(t)
+            t += c
+            finishes.append(t)
+            threads_used.append(0)
+        return starts, finishes, threads_used
+    free_at = [(0.0, tid) for tid in range(compile_threads)]
+    heapq.heapify(free_at)
+    for task in schedule:
+        c = instance.profiles[task.function].compile_times[task.level]
+        start, tid = heapq.heappop(free_at)
+        starts.append(start)
+        finishes.append(start + c)
+        threads_used.append(tid)
+        heapq.heappush(free_at, (start + c, tid))
+    return starts, finishes, threads_used
+
+
+def simulate(
+    instance: OCSPInstance,
+    schedule: Schedule,
+    compile_threads: int = 1,
+    record_timeline: bool = False,
+    validate: bool = True,
+    preinstalled: Optional[Dict[str, int]] = None,
+) -> MakespanResult:
+    """Simulate ``schedule`` driving ``instance`` and return timings.
+
+    Args:
+        instance: the OCSP instance (call sequence + cost tables).
+        schedule: compilation schedule to evaluate.
+        compile_threads: number of concurrent compiler threads (the
+            paper's Figure 7 varies this from 1 to 16).
+        record_timeline: keep per-task and per-call timings (O(N) memory;
+            off by default for long traces).
+        validate: check schedule legality first (disable only in tight
+            loops where the caller guarantees validity).  With
+            ``preinstalled``, the coverage requirement relaxes: a
+            preinstalled function needs no compile task.
+        preinstalled: functions whose code at the given level is
+            available from t = 0 without compilation — a persistent
+            code cache (the paper's Section 9 related work) or the
+            carried-over state of a replanning segment.
+
+    Returns:
+        A :class:`MakespanResult`.
+
+    Raises:
+        ScheduleError: if ``validate`` and the schedule is illegal.
+        ValueError: if ``compile_threads < 1`` or a preinstalled level
+            is out of range.
+    """
+    if compile_threads < 1:
+        raise ValueError(f"compile_threads must be >= 1, got {compile_threads}")
+    preinstalled = dict(preinstalled or {})
+    for fname, level in preinstalled.items():
+        prof = instance.profiles.get(fname)
+        if prof is None or not 0 <= level < prof.num_levels:
+            raise ValueError(
+                f"preinstalled level {level} invalid for {fname!r}"
+            )
+    if validate:
+        if preinstalled:
+            covered = set(preinstalled)
+            missing = [
+                f for f in instance.called_functions if f not in covered
+            ]
+            # Delegate per-task checks to the standard validator on a
+            # reduced requirement: every *non-preinstalled* called
+            # function must still be compiled.
+            reduced = OCSPInstance(
+                profiles=instance.profiles,
+                calls=tuple(f for f in instance.calls if f in missing),
+                name=instance.name,
+            )
+            schedule.validate(reduced)
+        else:
+            schedule.validate(instance)
+
+    starts, finishes, threads_used = _compile_task_finishes(
+        instance, schedule, compile_threads
+    )
+
+    # Per-function list of (finish_time, level), sorted by finish time.
+    by_function: Dict[str, List[Tuple[float, int]]] = {}
+    for fname, level in preinstalled.items():
+        by_function.setdefault(fname, []).append((0.0, level))
+    for task, finish in zip(schedule, finishes):
+        by_function.setdefault(task.function, []).append((finish, task.level))
+    for events in by_function.values():
+        events.sort()
+
+    # Monotone per-function cursor: index of the next not-yet-finished
+    # compile event, and the best level among finished ones.
+    cursor: Dict[str, int] = {f: 0 for f in by_function}
+    best_level: Dict[str, int] = {}
+
+    profiles = instance.profiles
+    t = 0.0
+    total_bubble = 0.0
+    total_exec = 0.0
+    calls_at_level: Dict[int, int] = {}
+    call_timings: List[CallTiming] = [] if record_timeline else []
+
+    # Once the execution clock passes the last compile finish, no call
+    # can ever wait or change level again: the remainder of the trace is
+    # a plain sum at each function's final level (fast tail).
+    all_compiled_at = max(
+        (events[-1][0] for events in by_function.values()), default=0.0
+    )
+
+    calls = instance.calls
+    for index, fname in enumerate(calls):
+        if not record_timeline and t >= all_compiled_at:
+            final_level = {
+                f: max(lvl for _ft, lvl in events)
+                for f, events in by_function.items()
+            }
+            for rest in calls[index:]:
+                lvl = final_level.get(rest)
+                if lvl is None:  # unreachable when validated
+                    raise ScheduleError(f"function {rest!r} is never compiled")
+                e = profiles[rest].exec_times[lvl]
+                total_exec += e
+                t += e
+                calls_at_level[lvl] = calls_at_level.get(lvl, 0) + 1
+            break
+        events = by_function.get(fname)
+        if not events:  # unreachable when validated
+            raise ScheduleError(f"function {fname!r} is never compiled")
+        first_ready = events[0][0]
+        start = t if t >= first_ready else first_ready
+        bubble = start - t
+        # Advance the cursor past every compile event finished by `start`.
+        idx = cursor[fname]
+        best = best_level.get(fname, -1)
+        while idx < len(events) and events[idx][0] <= start:
+            if events[idx][1] > best:
+                best = events[idx][1]
+            idx += 1
+        cursor[fname] = idx
+        best_level[fname] = best
+        e = profiles[fname].exec_times[best]
+        finish = start + e
+        total_bubble += bubble
+        total_exec += e
+        calls_at_level[best] = calls_at_level.get(best, 0) + 1
+        if record_timeline:
+            call_timings.append(
+                CallTiming(
+                    function=fname, level=best, start=start, finish=finish,
+                    bubble=bubble,
+                )
+            )
+        t = finish
+
+    task_timings: Optional[Tuple[TaskTiming, ...]] = None
+    if record_timeline:
+        task_timings = tuple(
+            TaskTiming(
+                function=task.function,
+                level=task.level,
+                start=s,
+                finish=f,
+                thread=tid,
+            )
+            for task, s, f, tid in zip(schedule, starts, finishes, threads_used)
+        )
+
+    return MakespanResult(
+        makespan=t,
+        compile_end=finishes[-1] if finishes else 0.0,
+        total_bubble_time=total_bubble,
+        total_exec_time=total_exec,
+        calls_at_level=calls_at_level,
+        task_timings=task_timings,
+        call_timings=tuple(call_timings) if record_timeline else None,
+    )
+
+
+def iter_calls(
+    instance: OCSPInstance,
+    schedule: Schedule,
+    compile_threads: int = 1,
+):
+    """Lazily yield ``(function, level, start, finish, bubble)`` per call.
+
+    A streaming variant of :func:`simulate` used by schedulers (e.g. IAR)
+    that need call start times on long traces without materializing a
+    timeline.  The schedule is not validated; callers must pass a valid
+    one.
+    """
+    _, finishes, _ = _compile_task_finishes(instance, schedule, compile_threads)
+    by_function: Dict[str, List[Tuple[float, int]]] = {}
+    for task, finish in zip(schedule, finishes):
+        by_function.setdefault(task.function, []).append((finish, task.level))
+    for events in by_function.values():
+        events.sort()
+    cursor: Dict[str, int] = {f: 0 for f in by_function}
+    best_level: Dict[str, int] = {}
+    profiles = instance.profiles
+    t = 0.0
+    for fname in instance.calls:
+        events = by_function.get(fname)
+        if not events:
+            raise ScheduleError(f"function {fname!r} is never compiled")
+        first_ready = events[0][0]
+        start = t if t >= first_ready else first_ready
+        idx = cursor[fname]
+        best = best_level.get(fname, -1)
+        while idx < len(events) and events[idx][0] <= start:
+            if events[idx][1] > best:
+                best = events[idx][1]
+            idx += 1
+        cursor[fname] = idx
+        best_level[fname] = best
+        finish = start + profiles[fname].exec_times[best]
+        yield fname, best, start, finish, start - t
+        t = finish
+
+
+def simulate_single_core(
+    instance: OCSPInstance, schedule: Schedule, validate: bool = True
+) -> MakespanResult:
+    """Make-span when compilation and execution share a single core.
+
+    Section 4.1: with one core the machine is always busy doing either
+    compilation or execution work, so the make-span is the sum of all
+    compile times in the schedule plus all invocation times.  On a single
+    core, delaying a compile never hides its cost (there are no bubbles
+    to avoid), so the best interleaving of a given task set runs every
+    compile of ``f`` before ``f``'s first invocation; every call then
+    executes at the highest level its function is ever compiled at.  We
+    return the make-span under that optimal interleaving, which is the
+    quantity Theorem 1 reasons about.
+    """
+    if validate:
+        schedule.validate(instance)
+    profiles = instance.profiles
+    level_of: Dict[str, int] = {}
+    for task in schedule:
+        prev = level_of.get(task.function, -1)
+        if task.level > prev:
+            level_of[task.function] = task.level
+    compile_total = schedule.total_compile_time(instance)
+    exec_total = 0.0
+    calls_at_level: Dict[int, int] = {}
+    for fname in instance.calls:
+        lvl = level_of[fname]
+        exec_total += profiles[fname].exec_times[lvl]
+        calls_at_level[lvl] = calls_at_level.get(lvl, 0) + 1
+    return MakespanResult(
+        makespan=compile_total + exec_total,
+        compile_end=compile_total + exec_total,
+        total_bubble_time=0.0,
+        total_exec_time=exec_total,
+        calls_at_level=calls_at_level,
+    )

@@ -1,0 +1,224 @@
+"""Toward online use of IAR (Section 8).
+
+The paper notes that deploying IAR in a real runtime requires (a) a
+predicted call sequence (e.g. from cross-run learning) and (b) estimated
+compile/execution times, both of which are noisy — and asks how much
+estimation error an advanced scheduling algorithm can tolerate.  This
+module provides that machinery:
+
+* :func:`perturb_times` — multiplicative lognormal-style noise on a
+  profile's cost tables, with monotonicity re-imposed;
+* :func:`estimate_instance` — the same, instance-wide;
+* :func:`perturb_sequence` — call-sequence prediction errors (swapped,
+  dropped, duplicated calls) at a configurable rate;
+* :func:`online_iar_makespan` — plan on the noisy view, execute on the
+  truth, report the resulting make-span.
+
+``benchmarks/bench_ablation_noise.py`` sweeps the error magnitude and
+shows how the IAR advantage degrades.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .bounds import lower_bound
+from .iar import IARParams, iar
+from .makespan import simulate
+from .model import FunctionProfile, OCSPInstance
+from .schedule import CompileTask, Schedule
+
+__all__ = [
+    "perturb_times",
+    "estimate_instance",
+    "perturb_sequence",
+    "OnlineEvaluation",
+    "online_iar_makespan",
+]
+
+
+def _monotone_fix(
+    compile_times: List[float], exec_times: List[float]
+) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """Re-impose Definition 1's monotonicity after perturbation."""
+    for j in range(1, len(compile_times)):
+        if compile_times[j] < compile_times[j - 1]:
+            compile_times[j] = compile_times[j - 1]
+        if exec_times[j] > exec_times[j - 1]:
+            exec_times[j] = exec_times[j - 1]
+    return tuple(compile_times), tuple(exec_times)
+
+
+def perturb_times(
+    profile: FunctionProfile,
+    rel_error: float,
+    rng: random.Random,
+    correlated: bool = False,
+) -> FunctionProfile:
+    """Perturb every time by a factor ``exp(N(0, sigma))``.
+
+    ``sigma`` is chosen so the expected relative deviation is about
+    ``rel_error`` (for small errors ``sigma ~= rel_error``).  Compile
+    times of real JITs are "largely stable" (Section 3), so they get
+    half the execution-time noise.
+
+    Args:
+        profile: the true cost table.
+        rel_error: target relative error, e.g. ``0.3`` for ±30%.
+        rng: seeded random source (determinism is on the caller).
+        correlated: if True, one scale factor per table is shared by
+            all levels (plus a small per-level jitter), the way a
+            size-based linear estimator errs — wrong in magnitude but
+            mostly right about level *ranking*.  If False, every level
+            errs independently.
+    """
+    if rel_error < 0:
+        raise ValueError("rel_error must be non-negative")
+    if rel_error == 0:
+        return profile
+    compile_sigma = rel_error / 2.0
+    exec_sigma = rel_error
+    if correlated:
+        compile_scale = rng.lognormvariate(0.0, compile_sigma)
+        exec_scale = rng.lognormvariate(0.0, exec_sigma)
+        jitter = rel_error / 4.0
+        compile_times = [
+            c * compile_scale * rng.lognormvariate(0.0, jitter)
+            for c in profile.compile_times
+        ]
+        exec_times = [
+            e * exec_scale * rng.lognormvariate(0.0, jitter)
+            for e in profile.exec_times
+        ]
+    else:
+        compile_times = [
+            c * rng.lognormvariate(0.0, compile_sigma) for c in profile.compile_times
+        ]
+        exec_times = [
+            e * rng.lognormvariate(0.0, exec_sigma) for e in profile.exec_times
+        ]
+    c_fixed, e_fixed = _monotone_fix(compile_times, exec_times)
+    return FunctionProfile(
+        name=profile.name, compile_times=c_fixed, exec_times=e_fixed
+    )
+
+
+def estimate_instance(
+    instance: OCSPInstance, rel_error: float, seed: int = 0
+) -> OCSPInstance:
+    """A noisy *estimated* view of ``instance`` (same call sequence)."""
+    rng = random.Random(seed)
+    profiles = {
+        fname: perturb_times(prof, rel_error, rng)
+        for fname, prof in sorted(instance.profiles.items())
+    }
+    return OCSPInstance(
+        profiles=profiles, calls=instance.calls, name=f"{instance.name}~{rel_error:g}"
+    )
+
+
+def perturb_sequence(
+    instance: OCSPInstance, error_rate: float, seed: int = 0
+) -> OCSPInstance:
+    """A noisy *predicted* call sequence (same profiles).
+
+    Each position is, with probability ``error_rate``, subjected to one
+    of: swap with the next call, drop, or duplicate.  The first call of
+    every function is never dropped, so the prediction still mentions
+    every function the run will touch (a requirement the paper puts on
+    cross-run prediction).
+    """
+    if not 0 <= error_rate <= 1:
+        raise ValueError("error_rate must be in [0, 1]")
+    rng = random.Random(seed)
+    calls = list(instance.calls)
+    first_index = {f: instance.first_call_index(f) for f in instance.called_functions}
+    protected = set(first_index.values())
+    predicted: List[str] = []
+    i = 0
+    while i < len(calls):
+        if rng.random() >= error_rate or i in protected:
+            predicted.append(calls[i])
+            i += 1
+            continue
+        action = rng.choice(("swap", "drop", "dup"))
+        if action == "swap" and i + 1 < len(calls):
+            predicted.append(calls[i + 1])
+            predicted.append(calls[i])
+            i += 2
+        elif action == "dup":
+            predicted.append(calls[i])
+            predicted.append(calls[i])
+            i += 1
+        else:  # drop
+            i += 1
+    return OCSPInstance(
+        profiles=instance.profiles,
+        calls=tuple(predicted),
+        name=f"{instance.name}~seq{error_rate:g}",
+    )
+
+
+@dataclass(frozen=True)
+class OnlineEvaluation:
+    """Result of planning on a noisy view and executing on the truth.
+
+    Attributes:
+        makespan: make-span of the noisy-planned schedule on the truth.
+        oracle_makespan: make-span of the schedule IAR builds with
+            perfect information (same parameters).
+        lower_bound: the paper's execution-only lower bound.
+        degradation: ``makespan / oracle_makespan`` (1.0 = no loss).
+    """
+
+    makespan: float
+    oracle_makespan: float
+    lower_bound: float
+    degradation: float
+
+
+def online_iar_makespan(
+    true_instance: OCSPInstance,
+    time_error: float = 0.0,
+    sequence_error: float = 0.0,
+    seed: int = 0,
+    params: IARParams = IARParams(),
+    compile_threads: int = 1,
+) -> OnlineEvaluation:
+    """Plan IAR on a noisy view of ``true_instance``; execute on the truth.
+
+    The schedule is computed from perturbed times and/or a perturbed
+    predicted call sequence, then simulated against the *actual* times
+    and sequence.  Functions present in the truth but missing from the
+    prediction are appended to the schedule at level 0 (the runtime's
+    on-demand fallback), keeping the schedule legal.
+    """
+    noisy = true_instance
+    if time_error > 0:
+        noisy = estimate_instance(noisy, time_error, seed=seed)
+    if sequence_error > 0:
+        noisy = perturb_sequence(noisy, sequence_error, seed=seed + 1)
+
+    planned = iar(noisy, params).schedule
+    compiled = set(planned.functions())
+    missing = [
+        fname for fname in true_instance.called_functions if fname not in compiled
+    ]
+    if missing:
+        planned = planned.extend(CompileTask(fname, 0) for fname in missing)
+
+    truth = simulate(
+        true_instance, planned, compile_threads=compile_threads, validate=False
+    )
+    oracle_sched = iar(true_instance, params).schedule
+    oracle = simulate(
+        true_instance, oracle_sched, compile_threads=compile_threads, validate=False
+    )
+    return OnlineEvaluation(
+        makespan=truth.makespan,
+        oracle_makespan=oracle.makespan,
+        lower_bound=lower_bound(true_instance),
+        degradation=truth.makespan / oracle.makespan if oracle.makespan else 1.0,
+    )

@@ -1,0 +1,52 @@
+"""The mini JIT runtime: bytecode, interpreter, simulated compiler.
+
+* :mod:`repro.jitsim.bytecode` — the stack-machine ISA;
+* :mod:`repro.jitsim.interpreter` — execution + trace collection;
+* :mod:`repro.jitsim.compiler` — the simulated multi-level compiler;
+* :mod:`repro.jitsim.programs` — assembler and sample programs;
+* :mod:`repro.jitsim.profile_extract` — run → OCSP instance.
+"""
+
+from .bytecode import BytecodeError, BytecodeFunction, Instr, Program
+from .compiler import CompilerConfig, SimulatedCompiler
+from .generator import ProgramSpec, random_program
+from .inlining import inline_function, inline_program, is_inlinable
+from .interpreter import CYCLE_US, Interpreter, InvocationRecord, RunTrace, VMError
+from .profile_extract import extract_instance, trace_to_instance
+from .programs import (
+    assemble,
+    fib_program,
+    hashing_program,
+    loops_program,
+    matmul_program,
+    phased_program,
+    sorting_program,
+)
+
+__all__ = [
+    "Instr",
+    "BytecodeFunction",
+    "Program",
+    "BytecodeError",
+    "Interpreter",
+    "RunTrace",
+    "InvocationRecord",
+    "VMError",
+    "CYCLE_US",
+    "CompilerConfig",
+    "inline_program",
+    "inline_function",
+    "is_inlinable",
+    "ProgramSpec",
+    "random_program",
+    "SimulatedCompiler",
+    "extract_instance",
+    "trace_to_instance",
+    "assemble",
+    "fib_program",
+    "loops_program",
+    "phased_program",
+    "sorting_program",
+    "matmul_program",
+    "hashing_program",
+]

@@ -1,0 +1,194 @@
+"""A miniature stack-machine bytecode, the unit the mini-JIT compiles.
+
+The paper's traces come from Java methods executing on Jikes RVM.  Our
+end-to-end substitute is this tiny VM: programs are sets of bytecode
+functions; the interpreter (:mod:`repro.jitsim.interpreter`) executes
+them on a virtual clock and records the call sequence; the simulated
+multi-level compiler (:mod:`repro.jitsim.compiler`) derives per-level
+compile/execution costs from static properties of the bytecode.  The
+result is an OCSP instance whose numbers are *earned* by running code,
+not drawn from a distribution.
+
+Instruction set (stack machine, integer-valued):
+
+=============  =========  ==================================================
+opcode         argument   effect
+=============  =========  ==================================================
+``PUSH``       int        push constant
+``LOAD``       slot       push local variable
+``STORE``      slot       pop into local variable
+``ADD SUB``               pop b, pop a, push a (op) b
+``MUL DIV``               integer ops; ``DIV`` by zero raises VMError
+``MOD``
+``NEG``                   pop a, push -a
+``DUP``                   duplicate top of stack
+``POP``                   discard top of stack
+``LT LE EQ``              pop b, pop a, push 1 if a (cmp) b else 0
+``JMP``        target     jump to instruction index
+``JZ``         target     pop; jump if zero
+``CALL``       name       call function by name; args popped, result pushed
+``RET``                   pop return value, return to caller
+=============  =========  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Op", "Instr", "BytecodeFunction", "Program", "BytecodeError", "OPCODES"]
+
+OPCODES = frozenset(
+    {
+        "PUSH",
+        "LOAD",
+        "STORE",
+        "ADD",
+        "SUB",
+        "MUL",
+        "DIV",
+        "MOD",
+        "NEG",
+        "DUP",
+        "POP",
+        "LT",
+        "LE",
+        "EQ",
+        "JMP",
+        "JZ",
+        "CALL",
+        "RET",
+    }
+)
+
+_NEEDS_INT_ARG = frozenset({"PUSH", "LOAD", "STORE", "JMP", "JZ"})
+_NEEDS_NAME_ARG = frozenset({"CALL"})
+
+
+class BytecodeError(ValueError):
+    """Raised for malformed bytecode at construction/validation time."""
+
+
+Op = str
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One instruction: an opcode plus optional argument."""
+
+    op: Op
+    arg: Optional[Union[int, str]] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPCODES:
+            raise BytecodeError(f"unknown opcode {self.op!r}")
+        if self.op in _NEEDS_INT_ARG and not isinstance(self.arg, int):
+            raise BytecodeError(f"{self.op} needs an int argument, got {self.arg!r}")
+        if self.op in _NEEDS_NAME_ARG and not isinstance(self.arg, str):
+            raise BytecodeError(f"{self.op} needs a function name, got {self.arg!r}")
+        if self.op not in _NEEDS_INT_ARG and self.op not in _NEEDS_NAME_ARG:
+            if self.arg is not None:
+                raise BytecodeError(f"{self.op} takes no argument")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.op if self.arg is None else f"{self.op} {self.arg}"
+
+
+@dataclass(frozen=True)
+class BytecodeFunction:
+    """A function: parameters arrive in locals ``0..num_params-1``.
+
+    Attributes:
+        name: function name, unique within a program.
+        num_params: arguments popped by ``CALL`` (left-to-right into
+            slots 0..num_params-1).
+        num_locals: local slots (must cover the parameters).
+        code: the instruction sequence; must end every path with ``RET``
+            (validated dynamically; statically we require at least one).
+    """
+
+    name: str
+    num_params: int
+    num_locals: int
+    code: Tuple[Instr, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "code", tuple(self.code))
+        if self.num_params < 0 or self.num_locals < self.num_params:
+            raise BytecodeError(
+                f"{self.name}: num_locals ({self.num_locals}) must cover "
+                f"num_params ({self.num_params})"
+            )
+        if not self.code:
+            raise BytecodeError(f"{self.name}: empty code")
+        if not any(instr.op == "RET" for instr in self.code):
+            raise BytecodeError(f"{self.name}: no RET instruction")
+        for i, instr in enumerate(self.code):
+            if instr.op in ("JMP", "JZ"):
+                target = instr.arg
+                assert isinstance(target, int)
+                if not 0 <= target < len(self.code):
+                    raise BytecodeError(
+                        f"{self.name}: jump target {target} out of range at #{i}"
+                    )
+            if instr.op in ("LOAD", "STORE"):
+                slot = instr.arg
+                assert isinstance(slot, int)
+                if not 0 <= slot < self.num_locals:
+                    raise BytecodeError(
+                        f"{self.name}: local slot {slot} out of range at #{i}"
+                    )
+
+    @property
+    def size(self) -> int:
+        """Instruction count (the compiler's notion of method size)."""
+        return len(self.code)
+
+    def back_edge_count(self) -> int:
+        """Number of backward jumps — a loop-structure proxy used by the
+        simulated optimizer's cost model."""
+        return sum(
+            1
+            for i, instr in enumerate(self.code)
+            if instr.op in ("JMP", "JZ")
+            and isinstance(instr.arg, int)
+            and instr.arg <= i
+        )
+
+    def call_targets(self) -> List[str]:
+        """Names of functions this function calls."""
+        return [
+            instr.arg
+            for instr in self.code
+            if instr.op == "CALL" and isinstance(instr.arg, str)
+        ]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A set of bytecode functions with a designated entry point."""
+
+    functions: Dict[str, BytecodeFunction]
+    entry: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "functions", dict(self.functions))
+        if self.entry not in self.functions:
+            raise BytecodeError(f"entry function {self.entry!r} not defined")
+        for func in self.functions.values():
+            for target in func.call_targets():
+                if target not in self.functions:
+                    raise BytecodeError(
+                        f"{func.name} calls undefined function {target!r}"
+                    )
+
+    @classmethod
+    def from_functions(
+        cls, functions: Sequence[BytecodeFunction], entry: str
+    ) -> "Program":
+        by_name: Dict[str, BytecodeFunction] = {}
+        for func in functions:
+            if func.name in by_name:
+                raise BytecodeError(f"duplicate function name {func.name!r}")
+            by_name[func.name] = func
+        return cls(functions=by_name, entry=entry)

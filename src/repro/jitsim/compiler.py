@@ -1,0 +1,130 @@
+"""The simulated multi-level optimizing compiler of the mini JIT.
+
+Jikes RVM's JIT compiles a method at one of four levels; deeper levels
+spend more compile time and produce faster code.  Our simulated compiler
+reproduces that cost structure from *static properties of the bytecode*:
+
+* **compile time** grows linearly with method size, with per-level
+  per-instruction costs and fixed overheads shaped after baseline vs
+  optimizing compilers;
+* **execution speed-up** per level depends on how optimizable the
+  method is: loop-heavy methods gain more from the loop-optimizing
+  levels, call-heavy methods gain more from the inlining level, and
+  every method gains the baseline's direct-threading win over the
+  interpreter-like tier.
+
+The numbers are a model, not a measurement — but they are *derived from
+the code being compiled*, so different programs genuinely produce
+different OCSP instances (see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..core.model import FunctionProfile
+from .bytecode import BytecodeFunction
+from .interpreter import CYCLE_US
+
+__all__ = ["CompilerConfig", "SimulatedCompiler"]
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """Cost model of the simulated compiler.
+
+    Attributes:
+        per_instr_us: compile cost per bytecode instruction, per level.
+        fixed_us: fixed per-compilation overhead, per level.
+        tier_speedups: baseline speed-up of each level over raw
+            interpretation, before per-function bonuses.
+        loop_bonus: extra speed-up weight for back-edge density at the
+            loop-optimizing levels (2 and up).
+        call_bonus: extra speed-up weight for call density at the
+            top (inlining) level.
+    """
+
+    per_instr_us: Tuple[float, ...] = (0.5, 5.0, 15.0, 40.0)
+    fixed_us: Tuple[float, ...] = (20.0, 200.0, 600.0, 1500.0)
+    tier_speedups: Tuple[float, ...] = (4.0, 7.0, 10.0, 13.0)
+    loop_bonus: float = 8.0
+    call_bonus: float = 4.0
+
+    def __post_init__(self) -> None:
+        n = len(self.per_instr_us)
+        if not (len(self.fixed_us) == len(self.tier_speedups) == n):
+            raise ValueError("per-level tuples must have equal lengths")
+        if n < 1:
+            raise ValueError("need at least one level")
+        for seq, kind in ((self.per_instr_us, "compile"), (self.fixed_us, "fixed")):
+            if any(x < 0 for x in seq):
+                raise ValueError(f"negative {kind} cost")
+        if any(s <= 0 for s in self.tier_speedups):
+            raise ValueError("tier speedups must be positive")
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.per_instr_us)
+
+
+class SimulatedCompiler:
+    """Derives per-level compile/execution costs for bytecode functions.
+
+    Args:
+        config: the cost model (defaults mimic a 4-level JIT).
+    """
+
+    def __init__(self, config: CompilerConfig = CompilerConfig()):
+        self.config = config
+
+    def compile_time(self, func: BytecodeFunction, level: int) -> float:
+        """Compile time of ``func`` at ``level`` (microseconds)."""
+        cfg = self.config
+        return cfg.fixed_us[level] + cfg.per_instr_us[level] * func.size
+
+    def speedup(self, func: BytecodeFunction, level: int) -> float:
+        """Speed-up of ``func``'s compiled code over interpretation."""
+        cfg = self.config
+        base = cfg.tier_speedups[level]
+        size = max(func.size, 1)
+        loop_density = func.back_edge_count() / size
+        call_density = len(func.call_targets()) / size
+        bonus = 1.0
+        if level >= 2:
+            bonus += cfg.loop_bonus * loop_density
+        if level >= cfg.num_levels - 1 and cfg.num_levels > 1:
+            bonus += cfg.call_bonus * call_density
+        return base * bonus
+
+    def exec_time(
+        self, func: BytecodeFunction, level: int, mean_instructions: float
+    ) -> float:
+        """Per-invocation execution time at ``level`` (microseconds).
+
+        Args:
+            func: the function.
+            level: compilation level.
+            mean_instructions: average dynamic instructions per
+                invocation (from a profiling run).
+        """
+        interpreted = mean_instructions * CYCLE_US
+        return interpreted / self.speedup(func, level)
+
+    def profile(
+        self, func: BytecodeFunction, mean_instructions: float
+    ) -> FunctionProfile:
+        """The full OCSP cost table for ``func``.
+
+        Monotonicity holds by construction: compile costs rise with the
+        level (non-decreasing ``per_instr_us``/``fixed_us``) and
+        speed-ups rise, so execution times fall.
+        """
+        levels = range(self.config.num_levels)
+        return FunctionProfile(
+            name=func.name,
+            compile_times=tuple(self.compile_time(func, lvl) for lvl in levels),
+            exec_times=tuple(
+                self.exec_time(func, lvl, mean_instructions) for lvl in levels
+            ),
+        )

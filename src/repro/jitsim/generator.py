@@ -1,0 +1,154 @@
+"""Random program generation for the mini JIT.
+
+The hand-written sample programs in :mod:`repro.jitsim.programs` cover
+specific shapes; this module generates whole random programs — call
+DAGs of loops and arithmetic leaves — so the end-to-end pipeline
+(bytecode → interpreter → trace → scheduling) can be exercised at any
+size.  Unlike the statistical trace generator in
+:mod:`repro.workloads.synthetic`, every call sequence here is *earned*
+by executing real bytecode, so call counts, per-invocation work, and
+phase structure all emerge from program structure.
+
+Generation is deterministic per seed, and every generated program
+terminates by construction (the call graph is acyclic and all loops
+have bounded trip counts).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .bytecode import BytecodeFunction, Program
+from .programs import assemble
+
+__all__ = ["ProgramSpec", "random_program"]
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Shape parameters for :func:`random_program`.
+
+    Attributes:
+        num_leaves: arithmetic leaf functions (the "hot" candidates).
+        num_drivers: loop functions that call leaves/other drivers.
+        max_leaf_rounds: leaf body size knob (unrolled multiply-add
+            rounds; 1 round ≈ 8 instructions).
+        max_trip_count: upper bound on any loop's iterations.
+        max_calls_per_driver: distinct callees per driver loop body.
+        phases: top-level phases; each phase runs one driver, so hot
+            sets rotate between phases.
+    """
+
+    num_leaves: int = 4
+    num_drivers: int = 3
+    max_leaf_rounds: int = 4
+    max_trip_count: int = 60
+    max_calls_per_driver: int = 3
+    phases: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_leaves < 1 or self.num_drivers < 1:
+            raise ValueError("need at least one leaf and one driver")
+        if self.max_leaf_rounds < 1:
+            raise ValueError("max_leaf_rounds must be >= 1")
+        if self.max_trip_count < 1:
+            raise ValueError("max_trip_count must be >= 1")
+        if self.max_calls_per_driver < 1:
+            raise ValueError("max_calls_per_driver must be >= 1")
+        if self.phases < 1:
+            raise ValueError("phases must be >= 1")
+
+
+def _leaf(name: str, rounds: int, rng: random.Random) -> BytecodeFunction:
+    """A random arithmetic leaf: ``rounds`` multiply-add-mod blocks."""
+    lines: List[str] = []
+    for _ in range(rounds):
+        mul = rng.randint(2, 9)
+        add = rng.randint(1, 97)
+        mod = rng.choice((101, 251, 509, 1021))
+        lines.append(
+            f"LOAD 0\nPUSH {mul}\nMUL\nPUSH {add}\nADD\nPUSH {mod}\nMOD\nSTORE 0"
+        )
+    lines.append("LOAD 0\nRET")
+    return assemble(name, num_params=1, num_locals=1, source="\n".join(lines))
+
+
+def _driver(
+    name: str,
+    callees: Sequence[str],
+    trip_count: int,
+) -> BytecodeFunction:
+    """A counted loop calling each callee once per iteration.
+
+    Takes one parameter (a data seed) and returns an accumulated value.
+    """
+    calls = "\n".join(
+        f"    LOAD 1\n    CALL {callee}\n    LOAD 2\n    ADD\n    STORE 2"
+        for callee in callees
+    )
+    source = f"""
+        PUSH {trip_count}
+        STORE 1
+        PUSH 0
+        STORE 2
+    loop:
+        LOAD 1
+        JZ done
+{calls}
+        LOAD 1
+        PUSH 1
+        SUB
+        STORE 1
+        JMP loop
+    done:
+        LOAD 2
+        RET
+    """
+    return assemble(name, num_params=1, num_locals=3, source=source)
+
+
+def random_program(spec: ProgramSpec = ProgramSpec(), seed: int = 0) -> Program:
+    """Generate a random, terminating program.
+
+    The call graph is layered — ``main`` → drivers → leaves — so there
+    is no recursion, and every loop is counted: termination (and a
+    bound on total work) is structural.
+
+    Args:
+        spec: shape parameters.
+        seed: RNG seed (identical seeds give identical programs).
+    """
+    rng = random.Random(seed)
+    leaves = [
+        _leaf(f"leaf{i:02d}", rng.randint(1, spec.max_leaf_rounds), rng)
+        for i in range(spec.num_leaves)
+    ]
+    leaf_names = [f.name for f in leaves]
+
+    drivers: List[BytecodeFunction] = []
+    driver_names: List[str] = []
+    for i in range(spec.num_drivers):
+        # Drivers call only leaves (call depth is bounded at 2, so the
+        # dynamic work is at most phases * trip * calls * leaf size).
+        count = rng.randint(1, min(spec.max_calls_per_driver, len(leaf_names)))
+        callees = rng.sample(leaf_names, count)
+        trip = rng.randint(max(spec.max_trip_count // 4, 1), spec.max_trip_count)
+        name = f"driver{i:02d}"
+        drivers.append(_driver(name, callees, trip))
+        driver_names.append(name)
+
+    phase_calls = "\n".join(
+        f"    PUSH {rng.randint(1, 99)}\n"
+        f"    CALL {rng.choice(driver_names)}\n"
+        "    POP"
+        for _ in range(spec.phases)
+    )
+    main = assemble(
+        "main",
+        num_params=0,
+        num_locals=0,
+        source=phase_calls + "\n    PUSH 0\n    RET",
+    )
+    return Program.from_functions([main, *drivers, *leaves], entry="main")

@@ -1,0 +1,164 @@
+"""Function inlining for the mini JIT (the paper's Section 8 factor).
+
+"Function inlining that happens in a run may substantially change the
+length and execution time of the caller function" — and it changes the
+OCSP instance itself: inlined callees vanish from the call sequence
+while callers grow.  This module implements a classic leaf-inliner so
+that effect can be measured instead of discussed:
+
+* :func:`inline_function` — splice one callee's body into a caller;
+* :func:`inline_program` — inline every small leaf callee everywhere;
+* semantics are preserved exactly (same entry result), verified by the
+  test suite on all sample programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .bytecode import BytecodeFunction, Instr, Program
+
+__all__ = ["inline_function", "inline_program", "is_inlinable"]
+
+DEFAULT_MAX_CALLEE_SIZE = 24
+
+
+def is_inlinable(func: BytecodeFunction, max_size: int = DEFAULT_MAX_CALLEE_SIZE) -> bool:
+    """A callee qualifies when it is a small *leaf* (no calls — which
+    also rules out recursion)."""
+    return func.size <= max_size and not func.call_targets()
+
+
+def _splice(
+    caller: BytecodeFunction, callee: BytecodeFunction, site: int, local_base: int
+) -> Tuple[List[Instr], int]:
+    """Build the instruction block replacing ``CALL callee`` at ``site``.
+
+    The callee's parameters are popped off the stack into fresh local
+    slots (pop order is reverse argument order), its body runs with
+    locals shifted by ``local_base`` and jumps rebased, and every RET
+    becomes a jump just past the block with the return value left on
+    the stack.
+
+    Returns:
+        (block instructions, locals consumed).
+    """
+    block: List[Instr] = []
+    for slot in range(callee.num_params - 1, -1, -1):
+        block.append(Instr("STORE", local_base + slot))
+    body_offset = len(block)
+    block_len = body_offset + len(callee.code)
+    for instr in callee.code:
+        if instr.op in ("LOAD", "STORE"):
+            block.append(Instr(instr.op, local_base + instr.arg))  # type: ignore[operator]
+        elif instr.op in ("JMP", "JZ"):
+            block.append(Instr(instr.op, body_offset + instr.arg))  # type: ignore[operator]
+        elif instr.op == "RET":
+            # Return value stays on the stack; leave the block.
+            block.append(Instr("JMP", block_len))
+        else:
+            block.append(instr)
+    return block, callee.num_locals
+
+
+def inline_function(
+    caller: BytecodeFunction,
+    callees: Dict[str, BytecodeFunction],
+    max_callee_size: int = DEFAULT_MAX_CALLEE_SIZE,
+) -> BytecodeFunction:
+    """Inline every eligible call site in ``caller``.
+
+    Args:
+        caller: the function to transform.
+        callees: candidate callee bodies by name.
+        max_callee_size: size cap for inlinable callees.
+
+    Returns:
+        The transformed function (or ``caller`` unchanged if no site
+        qualifies).
+    """
+    sites = [
+        i
+        for i, instr in enumerate(caller.code)
+        if instr.op == "CALL"
+        and instr.arg in callees
+        and is_inlinable(callees[instr.arg], max_callee_size)
+    ]
+    if not sites:
+        return caller
+
+    # First pass: emit new code, recording where each old instruction
+    # (and each inlined block) lands; jumps are patched afterwards.
+    new_code: List[Instr] = []
+    new_index: Dict[int, int] = {}
+    local_base = caller.num_locals
+    jump_sites: List[int] = []  # positions in new_code holding caller jumps
+
+    for i, instr in enumerate(caller.code):
+        new_index[i] = len(new_code)
+        if i in sites:
+            callee = callees[instr.arg]  # type: ignore[index]
+            block, used = _splice(caller, callee, i, local_base)
+            base = len(new_code)
+            # Rebase the block's internal jumps to absolute positions.
+            block_len = len(block)
+            for b in block:
+                if b.op in ("JMP", "JZ"):
+                    target = b.arg
+                    assert isinstance(target, int)
+                    new_code.append(Instr(b.op, base + target))
+                else:
+                    new_code.append(b)
+            local_base += used
+            continue
+        if instr.op in ("JMP", "JZ"):
+            jump_sites.append(len(new_code))
+        new_code.append(instr)
+
+    # `new_index` needs a sentinel for jumps to one-past-the-end (none
+    # are legal in validated input, but keep the mapping total).
+    new_index[len(caller.code)] = len(new_code)
+
+    for pos in jump_sites:
+        instr = new_code[pos]
+        assert isinstance(instr.arg, int)
+        new_code[pos] = Instr(instr.op, new_index[instr.arg])
+
+    return BytecodeFunction(
+        name=caller.name,
+        num_params=caller.num_params,
+        num_locals=local_base,
+        code=tuple(new_code),
+    )
+
+
+def inline_program(
+    program: Program,
+    max_callee_size: int = DEFAULT_MAX_CALLEE_SIZE,
+    rounds: int = 1,
+) -> Program:
+    """Inline small leaf callees throughout the program.
+
+    Args:
+        program: the input program (unchanged).
+        max_callee_size: size cap for inlinable callees.
+        rounds: how many times to repeat (a second round can inline
+            functions that *became* leaves after the first).
+
+    Returns:
+        A new program with the same entry and semantics.  Functions
+        that end up uncalled are kept (they may still be entry points
+        for other uses); the interpreter simply never visits them.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    functions = dict(program.functions)
+    for _ in range(rounds):
+        new_functions = {
+            name: inline_function(func, functions, max_callee_size)
+            for name, func in functions.items()
+        }
+        if new_functions == functions:
+            break
+        functions = new_functions
+    return Program(functions=functions, entry=program.entry)

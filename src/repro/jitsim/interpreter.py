@@ -1,0 +1,222 @@
+"""Bytecode interpreter with a virtual clock and call-trace recording.
+
+Executes a :class:`~repro.jitsim.bytecode.Program` the way Jikes RVM's
+profiling runs execute Java: every function entry is recorded in order,
+and each invocation's dynamic instruction count is tallied so the
+simulated compiler can turn it into per-level execution times.
+
+The clock is virtual: one interpreted instruction costs
+``CYCLE_US`` microseconds.  Determinism is total — no host timing leaks
+into the results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .bytecode import BytecodeFunction, Instr, Program
+
+__all__ = ["VMError", "InvocationRecord", "RunTrace", "Interpreter", "CYCLE_US"]
+
+CYCLE_US = 0.05
+"""Virtual cost of one interpreted instruction, in microseconds
+(a 20-MIPS interpreter — deliberately slow, as interpreters are)."""
+
+
+class VMError(RuntimeError):
+    """Raised for dynamic errors: stack underflow, division by zero,
+    missing RET, or exceeding the step budget."""
+
+
+@dataclass(frozen=True)
+class InvocationRecord:
+    """One dynamic invocation: which function, and how much work it did.
+
+    Attributes:
+        function: function name.
+        instructions: dynamic instructions executed in this invocation
+            (excluding callees — costs are per-function, as in the
+            paper's per-method times).
+    """
+
+    function: str
+    instructions: int
+
+
+@dataclass
+class RunTrace:
+    """Everything a profiling run collects.
+
+    Attributes:
+        invocations: per-invocation records, in call order.
+        result: the entry function's return value.
+        total_instructions: dynamic instructions over the whole run.
+    """
+
+    invocations: List[InvocationRecord]
+    result: int
+    total_instructions: int
+
+    @property
+    def call_sequence(self) -> Tuple[str, ...]:
+        """The call sequence in the OCSP sense."""
+        return tuple(rec.function for rec in self.invocations)
+
+    def mean_instructions(self) -> Dict[str, float]:
+        """Average dynamic instructions per invocation, per function."""
+        totals: Dict[str, int] = {}
+        counts: Dict[str, int] = {}
+        for rec in self.invocations:
+            totals[rec.function] = totals.get(rec.function, 0) + rec.instructions
+            counts[rec.function] = counts.get(rec.function, 0) + 1
+        return {f: totals[f] / counts[f] for f in totals}
+
+
+class _Frame:
+    __slots__ = ("func", "locals", "stack", "pc", "instructions", "trace_index")
+
+    def __init__(self, func: BytecodeFunction, args: List[int], trace_index: int):
+        self.func = func
+        self.locals = args + [0] * (func.num_locals - func.num_params)
+        self.stack: List[int] = []
+        self.pc = 0
+        self.instructions = 0
+        self.trace_index = trace_index
+
+
+class Interpreter:
+    """Executes a program, recording the profiling trace.
+
+    Args:
+        program: the bytecode program.
+        max_steps: dynamic instruction budget; exceeding it raises
+            :class:`VMError` (guards against non-terminating inputs).
+    """
+
+    def __init__(self, program: Program, max_steps: int = 50_000_000):
+        self.program = program
+        self.max_steps = max_steps
+
+    def run(self, *args: int) -> RunTrace:
+        """Run the entry function with integer arguments.
+
+        Returns:
+            The :class:`RunTrace` with the call sequence and counts.
+
+        Raises:
+            VMError: on dynamic errors or step-budget exhaustion.
+            TypeError: if the argument count mismatches the entry.
+        """
+        entry = self.program.functions[self.program.entry]
+        if len(args) != entry.num_params:
+            raise TypeError(
+                f"entry {entry.name!r} takes {entry.num_params} args, "
+                f"got {len(args)}"
+            )
+        invocations: List[InvocationRecord] = []
+        records: List[int] = []  # instruction counts, parallel to invocations
+
+        def new_frame(func: BytecodeFunction, call_args: List[int]) -> _Frame:
+            invocations.append(InvocationRecord(func.name, 0))
+            records.append(0)
+            return _Frame(func, call_args, len(records) - 1)
+
+        frames: List[_Frame] = [new_frame(entry, list(args))]
+        steps = 0
+        result: Optional[int] = None
+
+        while frames:
+            frame = frames[-1]
+            code = frame.func.code
+            if frame.pc >= len(code):
+                raise VMError(f"{frame.func.name}: fell off the end without RET")
+            instr = code[frame.pc]
+            steps += 1
+            frame.instructions += 1
+            if steps > self.max_steps:
+                raise VMError(f"exceeded step budget of {self.max_steps}")
+            op = instr.op
+            stack = frame.stack
+
+            if op == "PUSH":
+                stack.append(instr.arg)  # type: ignore[arg-type]
+            elif op == "LOAD":
+                stack.append(frame.locals[instr.arg])  # type: ignore[index]
+            elif op == "STORE":
+                frame.locals[instr.arg] = self._pop(frame)  # type: ignore[index]
+            elif op in ("ADD", "SUB", "MUL", "DIV", "MOD", "LT", "LE", "EQ"):
+                b = self._pop(frame)
+                a = self._pop(frame)
+                if op == "ADD":
+                    stack.append(a + b)
+                elif op == "SUB":
+                    stack.append(a - b)
+                elif op == "MUL":
+                    stack.append(a * b)
+                elif op == "DIV":
+                    if b == 0:
+                        raise VMError(f"{frame.func.name}: division by zero")
+                    stack.append(int(a / b) if (a < 0) != (b < 0) else a // b)
+                elif op == "MOD":
+                    if b == 0:
+                        raise VMError(f"{frame.func.name}: modulo by zero")
+                    stack.append(a % b)
+                elif op == "LT":
+                    stack.append(1 if a < b else 0)
+                elif op == "LE":
+                    stack.append(1 if a <= b else 0)
+                else:  # EQ
+                    stack.append(1 if a == b else 0)
+            elif op == "NEG":
+                stack.append(-self._pop(frame))
+            elif op == "DUP":
+                if not stack:
+                    raise VMError(f"{frame.func.name}: DUP on empty stack")
+                stack.append(stack[-1])
+            elif op == "POP":
+                self._pop(frame)
+            elif op == "JMP":
+                frame.pc = instr.arg  # type: ignore[assignment]
+                continue
+            elif op == "JZ":
+                if self._pop(frame) == 0:
+                    frame.pc = instr.arg  # type: ignore[assignment]
+                    continue
+            elif op == "CALL":
+                callee = self.program.functions[instr.arg]  # type: ignore[index]
+                if len(stack) < callee.num_params:
+                    raise VMError(
+                        f"{frame.func.name}: not enough arguments for "
+                        f"{callee.name}"
+                    )
+                call_args = stack[len(stack) - callee.num_params :]
+                del stack[len(stack) - callee.num_params :]
+                frame.pc += 1
+                frames.append(new_frame(callee, call_args))
+                continue
+            else:  # RET
+                value = self._pop(frame)
+                records[frame.trace_index] = frame.instructions
+                frames.pop()
+                if frames:
+                    frames[-1].stack.append(value)
+                else:
+                    result = value
+                continue
+            frame.pc += 1
+
+        assert result is not None
+        final = [
+            InvocationRecord(rec.function, count)
+            for rec, count in zip(invocations, records)
+        ]
+        return RunTrace(
+            invocations=final, result=result, total_instructions=steps
+        )
+
+    @staticmethod
+    def _pop(frame: _Frame) -> int:
+        if not frame.stack:
+            raise VMError(f"{frame.func.name}: stack underflow")
+        return frame.stack.pop()

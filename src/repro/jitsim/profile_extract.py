@@ -1,0 +1,66 @@
+"""Turn a mini-VM profiling run into an OCSP instance.
+
+This is the analogue of the paper's data-collection framework
+(Section 6.1): run the program, record the call sequence, and measure
+(here: derive) the compile and execution times of each function at each
+level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.model import OCSPInstance
+from .bytecode import Program
+from .compiler import CompilerConfig, SimulatedCompiler
+from .interpreter import Interpreter, RunTrace
+
+__all__ = ["extract_instance", "trace_to_instance"]
+
+
+def trace_to_instance(
+    program: Program,
+    trace: RunTrace,
+    compiler: Optional[SimulatedCompiler] = None,
+    name: str = "jitsim",
+) -> OCSPInstance:
+    """Build an :class:`OCSPInstance` from an existing profiling trace.
+
+    Per the paper's Assumption 1, each function's execution time at a
+    level is one number — the average over its invocations.
+    """
+    if compiler is None:
+        compiler = SimulatedCompiler()
+    means = trace.mean_instructions()
+    profiles = {
+        fname: compiler.profile(program.functions[fname], mean)
+        for fname, mean in means.items()
+    }
+    return OCSPInstance(profiles=profiles, calls=trace.call_sequence, name=name)
+
+
+def extract_instance(
+    program: Program,
+    *args: int,
+    compiler: Optional[SimulatedCompiler] = None,
+    config: Optional[CompilerConfig] = None,
+    name: Optional[str] = None,
+) -> OCSPInstance:
+    """Run ``program`` and extract the OCSP instance in one step.
+
+    Args:
+        program: the bytecode program.
+        *args: integer arguments for the entry function.
+        compiler: a prebuilt simulated compiler (wins over ``config``).
+        config: compiler cost model to use when ``compiler`` is None.
+        name: instance label; defaults to the entry function's name.
+
+    Raises:
+        VMError: if the program misbehaves dynamically.
+    """
+    trace = Interpreter(program).run(*args)
+    if compiler is None:
+        compiler = SimulatedCompiler(config) if config else SimulatedCompiler()
+    return trace_to_instance(
+        program, trace, compiler=compiler, name=name or program.entry
+    )

@@ -1,0 +1,498 @@
+"""A tiny assembler and a library of sample bytecode programs.
+
+The assembler turns readable text into
+:class:`~repro.jitsim.bytecode.BytecodeFunction` objects::
+
+    func = assemble(
+        "sum_to", num_params=1, num_locals=2,
+        \"\"\"
+            PUSH 0
+            STORE 1
+        loop:
+            LOAD 0
+            JZ done
+            LOAD 1
+            LOAD 0
+            ADD
+            STORE 1
+            LOAD 0
+            PUSH 1
+            SUB
+            STORE 0
+            JMP loop
+        done:
+            LOAD 1
+            RET
+        \"\"\",
+    )
+
+Labels end with ``:`` on their own line; jump instructions may name a
+label instead of an index.  The sample programs exercise the behaviours
+the paper's workloads have: hot tiny methods, cold setup methods, loop
+phases, and recursion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from .bytecode import BytecodeError, BytecodeFunction, Instr, Program
+
+__all__ = [
+    "assemble",
+    "fib_program",
+    "loops_program",
+    "phased_program",
+    "sorting_program",
+    "matmul_program",
+    "hashing_program",
+]
+
+
+def assemble(
+    name: str, num_params: int, num_locals: int, source: str
+) -> BytecodeFunction:
+    """Assemble textual bytecode into a :class:`BytecodeFunction`.
+
+    Raises:
+        BytecodeError: on unknown labels, bad arguments, or anything
+            :class:`BytecodeFunction` itself rejects.
+    """
+    labels: Dict[str, int] = {}
+    parsed: List[Tuple[str, Optional[str]]] = []
+    for raw in source.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if not label or label in labels:
+                raise BytecodeError(f"{name}: bad or duplicate label {label!r}")
+            labels[label] = len(parsed)
+            continue
+        parts = line.split(None, 1)
+        parsed.append((parts[0], parts[1].strip() if len(parts) == 2 else None))
+
+    instrs: List[Instr] = []
+    for op, arg_text in parsed:
+        arg: Optional[Union[int, str]] = None
+        if arg_text is not None:
+            if op in ("JMP", "JZ") and arg_text in labels:
+                arg = labels[arg_text]
+            elif op == "CALL":
+                arg = arg_text
+            else:
+                try:
+                    arg = int(arg_text)
+                except ValueError as exc:
+                    raise BytecodeError(
+                        f"{name}: bad argument {arg_text!r} for {op}"
+                    ) from exc
+        instrs.append(Instr(op, arg))
+    return BytecodeFunction(
+        name=name, num_params=num_params, num_locals=num_locals, code=tuple(instrs)
+    )
+
+
+def _counting_loop(name: str, body_calls: List[str], iterations_param: bool = True) -> BytecodeFunction:
+    """A loop calling each of ``body_calls`` once per iteration.
+
+    The function takes one parameter: the iteration count.  Each callee
+    receives the running iteration index as its argument.  Returns the
+    number of iterations executed.
+    """
+    call_lines = "\n".join(
+        f"    LOAD 1\n    CALL {callee}\n    POP" for callee in body_calls
+    )
+    source = f"""
+        PUSH 0
+        STORE 1
+    loop:
+        LOAD 0
+        JZ done
+{call_lines}
+        LOAD 1
+        PUSH 1
+        ADD
+        STORE 1
+        LOAD 0
+        PUSH 1
+        SUB
+        STORE 0
+        JMP loop
+    done:
+        LOAD 1
+        RET
+    """
+    return assemble(name, num_params=1, num_locals=2, source=source)
+
+
+def fib_program() -> Program:
+    """Naive recursive Fibonacci: one hot recursive method plus a
+    driver.  Entry: ``main(n)``; trace length grows exponentially in
+    ``n`` — a dense stream of calls to a single tiny hot function."""
+    fib = assemble(
+        "fib",
+        num_params=1,
+        num_locals=1,
+        source="""
+            LOAD 0
+            PUSH 2
+            LT
+            JZ recurse
+            LOAD 0
+            RET
+        recurse:
+            LOAD 0
+            PUSH 1
+            SUB
+            CALL fib
+            LOAD 0
+            PUSH 2
+            SUB
+            CALL fib
+            ADD
+            RET
+        """,
+    )
+    main = assemble(
+        "main",
+        num_params=1,
+        num_locals=1,
+        source="""
+            LOAD 0
+            CALL fib
+            RET
+        """,
+    )
+    return Program.from_functions([main, fib], entry="main")
+
+
+def _leaf_arith(name: str, rounds: int) -> BytecodeFunction:
+    """A small arithmetic leaf: ``rounds`` unrolled multiply-adds."""
+    body = "\n".join(
+        """
+        LOAD 0
+        PUSH 3
+        MUL
+        PUSH 7
+        ADD
+        PUSH 11
+        MOD
+        STORE 0
+        """
+        for _ in range(rounds)
+    )
+    return assemble(
+        name,
+        num_params=1,
+        num_locals=1,
+        source=body + "\n        LOAD 0\n        RET",
+    )
+
+
+def loops_program(hot_calls: int = 500, warm_calls: int = 40) -> Program:
+    """Hot/warm/cold mixture shaped like a warmup run.
+
+    * three *cold* setup functions, each invoked once;
+    * a *warm* helper invoked ``warm_calls`` times;
+    * a *hot* tight leaf invoked ``hot_calls`` times.
+
+    Entry: ``main()`` (no arguments).
+    """
+    cold1 = _leaf_arith("cold_init_a", rounds=6)
+    cold2 = _leaf_arith("cold_init_b", rounds=9)
+    cold3 = _leaf_arith("cold_init_c", rounds=4)
+    hot = _leaf_arith("hot_leaf", rounds=2)
+    warm = _leaf_arith("warm_helper", rounds=5)
+    hot_loop = _counting_loop("hot_loop", ["hot_leaf"])
+    warm_loop = _counting_loop("warm_loop", ["warm_helper"])
+    main = assemble(
+        "main",
+        num_params=0,
+        num_locals=1,
+        source=f"""
+            PUSH 1
+            CALL cold_init_a
+            POP
+            PUSH 2
+            CALL cold_init_b
+            POP
+            PUSH 3
+            CALL cold_init_c
+            POP
+            PUSH {warm_calls}
+            CALL warm_loop
+            POP
+            PUSH {hot_calls}
+            CALL hot_loop
+            RET
+        """,
+    )
+    return Program.from_functions(
+        [main, cold1, cold2, cold3, hot, warm, hot_loop, warm_loop], entry="main"
+    )
+
+
+def phased_program(phase_calls: int = 200) -> Program:
+    """Two phases using disjoint hot sets — the pattern that separates
+    first-appearance-order scheduling from recompilation scheduling.
+
+    Phase 1 hammers ``alpha``; phase 2 hammers ``beta`` (which phase 1
+    never touches), so ``beta``'s first compile competes with ``alpha``'s
+    recompilation for the compiler thread.
+
+    Entry: ``main()``.
+    """
+    alpha = _leaf_arith("alpha", rounds=3)
+    beta = _leaf_arith("beta", rounds=3)
+    phase1 = _counting_loop("phase1", ["alpha"])
+    phase2 = _counting_loop("phase2", ["beta"])
+    main = assemble(
+        "main",
+        num_params=0,
+        num_locals=0,
+        source=f"""
+            PUSH {phase_calls}
+            CALL phase1
+            POP
+            PUSH {phase_calls}
+            CALL phase2
+            RET
+        """,
+    )
+    return Program.from_functions([main, alpha, beta, phase1, phase2], entry="main")
+
+
+def _bubble_sort_function(array_size: int) -> BytecodeFunction:
+    """Bubble-sort over a pseudo-array in local slots.
+
+    The ISA has no heap, so the "array" is ``array_size`` local slots
+    initialized from a linear congruence of the single parameter; the
+    function sorts them with compare-and-swap passes and returns the
+    median element.  Heavy on branches and loops — the shape optimizing
+    compilers love.
+    """
+    if array_size < 2:
+        raise BytecodeError("array_size must be >= 2")
+    # Locals: 0 = seed/param, 1..array_size = elements, then i, j, tmp.
+    first = 1
+    i_slot = first + array_size
+    j_slot = i_slot + 1
+    tmp = j_slot + 1
+    lines = []
+    # Initialize elements: e_k = (seed * 1103515245 + k*12345) % 1009
+    for k in range(array_size):
+        lines.append(
+            f"""
+            LOAD 0
+            PUSH 1103515245
+            MUL
+            PUSH {12345 * (k + 1)}
+            ADD
+            PUSH 1009
+            MOD
+            STORE {first + k}
+            """
+        )
+    # Selection-style pass: for i in range(n-1): for j in range(i+1, n):
+    # compare slot-wise.  Unrolled (slots are static), still dynamic in
+    # comparisons/branches.
+    for i in range(array_size - 1):
+        for j in range(i + 1, array_size):
+            a, b = first + i, first + j
+            lines.append(
+                f"""
+                LOAD {a}
+                LOAD {b}
+                LE
+                JZ swap_{i}_{j}
+                JMP done_{i}_{j}
+            swap_{i}_{j}:
+                LOAD {a}
+                STORE {tmp}
+                LOAD {b}
+                STORE {a}
+                LOAD {tmp}
+                STORE {b}
+            done_{i}_{j}:
+                PUSH 0
+                POP
+                """
+            )
+    lines.append(f"LOAD {first + array_size // 2}\nRET")
+    return assemble(
+        "sort_kernel",
+        num_params=1,
+        num_locals=tmp + 1,
+        source="\n".join(lines),
+    )
+
+
+def sorting_program(rounds: int = 100, array_size: int = 8) -> Program:
+    """Repeatedly sort small pseudo-arrays; returns a checksum.
+
+    One branch-heavy hot kernel (``sort_kernel``) driven ``rounds``
+    times — the classic "one dominant method" profile.
+    """
+    kernel = _bubble_sort_function(array_size)
+    main = _counting_loop("sort_driver", ["sort_kernel"])
+    entry = assemble(
+        "main",
+        num_params=0,
+        num_locals=0,
+        source=f"""
+            PUSH {rounds}
+            CALL sort_driver
+            RET
+        """,
+    )
+    return Program.from_functions([entry, main, kernel], entry="main")
+
+
+def matmul_program(size: int = 4, rounds: int = 60) -> Program:
+    """Repeated ``size``x``size`` matrix "multiplication".
+
+    Rows live in local slots; ``dot_row`` computes one output element
+    as an unrolled dot product, and ``mat_driver`` iterates the
+    multiplication ``rounds`` times.  Arithmetic-dense with a call-per-
+    element structure (an inlining candidate).
+    """
+    if size < 2:
+        raise BytecodeError("size must be >= 2")
+    # dot(seed_a, seed_b): pseudo dot product of two derived rows.
+    terms = []
+    for k in range(size):
+        terms.append(
+            f"""
+            LOAD 0
+            PUSH {k + 3}
+            MUL
+            PUSH 251
+            MOD
+            LOAD 1
+            PUSH {k + 7}
+            MUL
+            PUSH 241
+            MOD
+            MUL
+            LOAD 2
+            ADD
+            STORE 2
+            """
+        )
+    dot = assemble(
+        "dot_row",
+        num_params=2,
+        num_locals=3,
+        source="PUSH 0\nSTORE 2\n" + "\n".join(terms) + "\nLOAD 2\nRET",
+    )
+    # One multiplication = size*size dot calls, seeds derived from i, j.
+    body = []
+    for i in range(size):
+        for j in range(size):
+            body.append(
+                f"""
+                LOAD 0
+                PUSH {i + 1}
+                ADD
+                LOAD 0
+                PUSH {j + 1}
+                ADD
+                CALL dot_row
+                LOAD 1
+                ADD
+                PUSH 1000003
+                MOD
+                STORE 1
+                """
+            )
+    mat_once = assemble(
+        "mat_once",
+        num_params=1,
+        num_locals=2,
+        source="PUSH 0\nSTORE 1\n" + "\n".join(body) + "\nLOAD 1\nRET",
+    )
+    driver = _counting_loop("mat_driver", ["mat_once"])
+    entry = assemble(
+        "main",
+        num_params=0,
+        num_locals=0,
+        source=f"""
+            PUSH {rounds}
+            CALL mat_driver
+            RET
+        """,
+    )
+    return Program.from_functions([entry, driver, mat_once, dot], entry="main")
+
+
+def hashing_program(items: int = 500) -> Program:
+    """FNV-style rolling hash over a pseudo-random stream.
+
+    Two tiny leaf functions (``next_item``, ``mix_hash``) called in
+    strict alternation — the pattern where both leaves go hot together
+    and compete for the compiler.
+    """
+    next_item = assemble(
+        "next_item",
+        num_params=1,
+        num_locals=1,
+        source="""
+            LOAD 0
+            PUSH 6364136223846793005
+            MUL
+            PUSH 1442695040888963407
+            ADD
+            PUSH 2147483647
+            MOD
+            RET
+        """,
+    )
+    mix_hash = assemble(
+        "mix_hash",
+        num_params=2,
+        num_locals=2,
+        source="""
+            LOAD 0
+            PUSH 16777619
+            MUL
+            LOAD 1
+            ADD
+            PUSH 1000000007
+            MOD
+            RET
+        """,
+    )
+    entry = assemble(
+        "main",
+        num_params=0,
+        num_locals=3,
+        source=f"""
+            PUSH {items}
+            STORE 0
+            PUSH 99
+            STORE 1
+            PUSH 2166136261
+            STORE 2
+        loop:
+            LOAD 0
+            JZ done
+            LOAD 1
+            CALL next_item
+            STORE 1
+            LOAD 2
+            LOAD 1
+            CALL mix_hash
+            STORE 2
+            LOAD 0
+            PUSH 1
+            SUB
+            STORE 0
+            JMP loop
+        done:
+            LOAD 2
+            RET
+        """,
+    )
+    return Program.from_functions([entry, next_item, mix_hash], entry="main")

@@ -1,0 +1,53 @@
+"""Models of real runtime systems' compilation scheduling.
+
+* :mod:`repro.vm.costbenefit` — cost-benefit models (default estimated
+  vs oracle, Section 6.2.2);
+* :mod:`repro.vm.runtime` — the reactive co-simulator (queue, sampler,
+  compiler threads);
+* :mod:`repro.vm.jikes` — the Jikes RVM adaptive scheme (Section 6.2.1);
+* :mod:`repro.vm.v8` — the V8 count-based scheme (Section 6.2.4).
+"""
+
+from .costbenefit import (
+    DEFAULT_ESTIMATION_ERROR,
+    DEFAULT_HOTNESS_FLOOR,
+    DEFAULT_HOTNESS_OPTIMISM,
+    DEFAULT_HOTNESS_SIGMA,
+    CostBenefitModel,
+    EstimatedModel,
+    OracleModel,
+)
+from .hotspot import DEFAULT_THRESHOLDS, TieredScheme, run_tiered
+from .jikes import JikesScheme, run_jikes
+from .priorityqueue import PRIORITY_POLICIES, PriorityRuntimeSimulator, run_with_policy
+from .runtime import (
+    RuntimeRunResult,
+    RuntimeScheme,
+    RuntimeSimulator,
+    default_sample_period,
+)
+from .v8 import V8Scheme, run_v8
+
+__all__ = [
+    "CostBenefitModel",
+    "EstimatedModel",
+    "OracleModel",
+    "DEFAULT_ESTIMATION_ERROR",
+    "DEFAULT_HOTNESS_FLOOR",
+    "DEFAULT_HOTNESS_OPTIMISM",
+    "DEFAULT_HOTNESS_SIGMA",
+    "RuntimeScheme",
+    "RuntimeSimulator",
+    "RuntimeRunResult",
+    "default_sample_period",
+    "JikesScheme",
+    "TieredScheme",
+    "run_tiered",
+    "PriorityRuntimeSimulator",
+    "run_with_policy",
+    "PRIORITY_POLICIES",
+    "DEFAULT_THRESHOLDS",
+    "run_jikes",
+    "V8Scheme",
+    "run_v8",
+]

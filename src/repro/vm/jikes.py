@@ -1,0 +1,82 @@
+"""The Jikes RVM compilation-scheduling scheme (Sections 2, 6.2.1).
+
+The default scheme of Jikes RVM's adaptive optimization system:
+
+* at the first invocation of a method, compile it at the lowest level;
+* a timer-based sampler observes the running method; ``k`` counts how
+  often a method has been seen on the call stack since program start;
+* after every sampling period the runtime checks whether the sampled
+  method would benefit from recompilation: with ``l`` its current level
+  and ``m = argmin_{j>l} (e_j*k + c_j)``, recompile at ``m`` iff
+  ``e_m*k + c_m < e_l*k``, using the cost-benefit model's estimates;
+* requests join a FIFO queue served by the compilation thread.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.model import OCSPInstance
+from .costbenefit import CostBenefitModel, EstimatedModel
+from .runtime import RuntimeRunResult, RuntimeScheme, RuntimeSimulator
+
+__all__ = ["JikesScheme", "run_jikes"]
+
+
+class JikesScheme(RuntimeScheme):
+    """Reactive policy of the Jikes RVM adaptive system.
+
+    Args:
+        model: the cost-benefit model supplying time estimates (the
+            default :class:`~repro.vm.costbenefit.EstimatedModel` for
+            Figure 5, :class:`~repro.vm.costbenefit.OracleModel` for
+            Figure 6).
+    """
+
+    def __init__(self, model: CostBenefitModel):
+        self.model = model
+
+    def initial_level(self, fname: str) -> int:
+        return 0
+
+    def on_sample(
+        self, runtime: RuntimeSimulator, fname: str, k: int, time: float
+    ) -> None:
+        current = runtime.requested_level(fname)
+        if current < 0:  # sampled before any request: cannot happen mid-call
+            return
+        future = self.model.estimated_future_calls(
+            fname, current, k, runtime.sample_period
+        )
+        target = self.model.recompilation_level(fname, current, future)
+        if target is not None:
+            runtime.enqueue(fname, target, time)
+
+
+def run_jikes(
+    instance: OCSPInstance,
+    model: Optional[CostBenefitModel] = None,
+    compile_threads: int = 1,
+    sample_period: Optional[float] = None,
+    model_seed: int = 0,
+) -> RuntimeRunResult:
+    """Replay ``instance`` under the Jikes RVM default scheme.
+
+    Args:
+        instance: the workload.
+        model: cost-benefit model; defaults to the noisy
+            :class:`EstimatedModel` (the paper's "default cost-benefit
+            model").
+        compile_threads: compiler threads serving the queue.
+        sample_period: sampler interval (``None`` → derived).
+        model_seed: seed for the default model's estimation noise.
+    """
+    if model is None:
+        model = EstimatedModel(instance, seed=model_seed)
+    simulator = RuntimeSimulator(
+        instance,
+        JikesScheme(model),
+        compile_threads=compile_threads,
+        sample_period=sample_period,
+    )
+    return simulator.run()

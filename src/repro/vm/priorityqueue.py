@@ -1,0 +1,246 @@
+"""Priority-ordered compilation queues (extension).
+
+The paper's runtime model — and Jikes RVM's implementation — serves
+compile requests FIFO.  Production JITs (e.g. HotSpot) order their
+queues instead: first-compiles before recompiles, hotter methods
+first.  This module adds a dispatch-policy dimension to the reactive
+co-simulation so the question "how much of the reactive gap is *queue
+policy* rather than *late discovery*?" can be measured.
+
+Unlike :class:`~repro.vm.runtime.RuntimeSimulator` (which can resolve
+FIFO dispatch greedily at enqueue time), priority dispatch must be
+simulated event by event: a compiler thread that frees at time ``T``
+picks the best *already-arrived* request, and may stay idle until the
+next arrival.  There is no preemption.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.model import OCSPInstance
+from ..core.schedule import CompileTask, Schedule
+from .runtime import RuntimeRunResult, RuntimeScheme, default_sample_period
+
+__all__ = ["PriorityRuntimeSimulator", "PRIORITY_POLICIES", "run_with_policy"]
+
+
+def _fifo_key(level: int, observed_calls: int, seq: int) -> Tuple:
+    return (seq,)
+
+
+def _first_compiles_key(level: int, observed_calls: int, seq: int) -> Tuple:
+    # Blocking first-compiles jump the queue; recompiles stay FIFO.
+    return (0 if level == 0 else 1, seq)
+
+
+def _hotness_key(level: int, observed_calls: int, seq: int) -> Tuple:
+    # First-compiles first, then hottest methods, then FIFO.
+    return (0 if level == 0 else 1, -observed_calls, seq)
+
+
+PRIORITY_POLICIES: Dict[str, Callable[[int, int, int], Tuple]] = {
+    "fifo": _fifo_key,
+    "first_compiles": _first_compiles_key,
+    "hotness": _hotness_key,
+}
+
+
+class PriorityRuntimeSimulator:
+    """Reactive co-simulation with a priority-ordered compile queue.
+
+    Args:
+        instance: the workload.
+        scheme: the reactive policy (same hooks as the FIFO simulator).
+        policy: one of :data:`PRIORITY_POLICIES` (lower keys dispatch
+            first).
+        compile_threads: compiler threads.
+        sample_period: sampler interval (``None`` → derived).
+    """
+
+    def __init__(
+        self,
+        instance: OCSPInstance,
+        scheme: RuntimeScheme,
+        policy: str = "hotness",
+        compile_threads: int = 1,
+        sample_period: Optional[float] = None,
+    ):
+        if policy not in PRIORITY_POLICIES:
+            raise ValueError(
+                f"policy must be one of {sorted(PRIORITY_POLICIES)}, got {policy!r}"
+            )
+        if compile_threads < 1:
+            raise ValueError("compile_threads must be >= 1")
+        self.instance = instance
+        self.scheme = scheme
+        self.policy = PRIORITY_POLICIES[policy]
+        self.compile_threads = compile_threads
+        self.sample_period = (
+            sample_period
+            if sample_period is not None
+            else default_sample_period(instance)
+        )
+        if self.sample_period <= 0:
+            raise ValueError("sample_period must be positive")
+        self._reset()
+
+    def _reset(self) -> None:
+        self._threads: List[float] = [0.0] * self.compile_threads
+        heapq.heapify(self._threads)
+        self._pending: List[Tuple[Tuple, int, float, str, int]] = []
+        self._seq = itertools.count()
+        self._requested_level: Dict[str, int] = {}
+        self._finish_events: Dict[str, List[Tuple[float, int]]] = {}
+        self._dispatched: List[CompileTask] = []
+        self._enqueue_times: List[float] = []
+        self._observed: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # API for schemes (mirrors RuntimeSimulator)
+    # ------------------------------------------------------------------
+    def enqueue(self, fname: str, level: int, time: float) -> None:
+        """Submit a compile request at ``time``."""
+        prof = self.instance.profiles[fname]
+        if not 0 <= level < prof.num_levels:
+            raise ValueError(f"level {level} out of range for {fname!r}")
+        prev = self._requested_level.get(fname, -1)
+        if level <= prev:
+            return
+        self._requested_level[fname] = level
+        key = self.policy(level, self._observed.get(fname, 0), next(self._seq))
+        heapq.heappush(self._pending, (key, next(self._seq), time, fname, level))
+        self._enqueue_times.append(time)
+
+    def requested_level(self, fname: str) -> int:
+        return self._requested_level.get(fname, -1)
+
+    # ------------------------------------------------------------------
+    # Dispatch machinery
+    # ------------------------------------------------------------------
+    def _dispatch_one(self, horizon: Optional[float]) -> bool:
+        """Dispatch a single request if one can start by ``horizon``.
+
+        The dispatch moment is when the earliest thread frees (or the
+        earliest pending arrival, if later); the request chosen is the
+        highest-priority one arrived by that moment.  No new arrivals
+        can occur meanwhile — the execution thread is the only producer
+        and it is stalled or between calls while this runs.
+
+        Returns:
+            True if a request was dispatched.
+        """
+        if not self._pending:
+            return False
+        thread_free = self._threads[0]
+        earliest_arrival = min(item[2] for item in self._pending)
+        dispatch_at = max(thread_free, earliest_arrival)
+        if horizon is not None and dispatch_at > horizon:
+            return False
+        # Highest-priority request that has arrived by dispatch_at.
+        arrived = [item for item in self._pending if item[2] <= dispatch_at]
+        chosen = min(arrived)
+        self._pending.remove(chosen)
+        heapq.heapify(self._pending)
+        _key, _seq, _arrival, fname, level = chosen
+        heapq.heappop(self._threads)
+        c = self.instance.profiles[fname].compile_times[level]
+        finish = dispatch_at + c
+        heapq.heappush(self._threads, finish)
+        self._dispatched.append(CompileTask(fname, level))
+        self._finish_events.setdefault(fname, []).append((finish, level))
+        return True
+
+    def _dispatch_until(self, horizon: Optional[float]) -> None:
+        """Dispatch every request whose moment arrives by ``horizon``."""
+        while self._dispatch_one(horizon):
+            pass
+
+    def _first_ready(self, fname: str) -> float:
+        """Finish time of ``fname``'s earliest compile, dispatching only
+        as far as needed (the caller guarantees a request exists)."""
+        while fname not in self._finish_events:
+            if not self._dispatch_one(None):  # pragma: no cover
+                raise RuntimeError(f"no compile request for {fname!r}")
+        return min(f for f, _lvl in self._finish_events[fname])
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def run(self) -> RuntimeRunResult:
+        """Replay the call sequence under the priority queue."""
+        self._reset()
+        instance = self.instance
+        scheme = self.scheme
+        period = self.sample_period
+
+        invocations: Dict[str, int] = {}
+        samples: Dict[str, int] = {}
+        samples_taken = 0
+        calls_at_level: Dict[int, int] = {}
+        total_bubble = 0.0
+        total_exec = 0.0
+        t = 0.0
+        next_tick = period
+
+        for fname in instance.calls:
+            invocation = invocations.get(fname, 0) + 1
+            invocations[fname] = invocation
+            self._observed[fname] = invocation
+            if invocation == 1:
+                self.enqueue(fname, scheme.initial_level(fname), t)
+            scheme.on_call_start(self, fname, invocation, t)
+
+            self._dispatch_until(t)
+            first_ready = self._first_ready(fname)
+            start = t if t >= first_ready else first_ready
+            # Dispatch anything whose moment arrives during the bubble.
+            self._dispatch_until(start)
+            total_bubble += start - t
+            best = -1
+            for finish_time, level in self._finish_events[fname]:
+                if finish_time <= start and level > best:
+                    best = level
+            exec_time = instance.profiles[fname].exec_times[best]
+            finish = start + exec_time
+            total_exec += exec_time
+            calls_at_level[best] = calls_at_level.get(best, 0) + 1
+
+            while next_tick <= finish:
+                if next_tick > start:
+                    k = samples.get(fname, 0) + 1
+                    samples[fname] = k
+                    samples_taken += 1
+                    scheme.on_sample(self, fname, k, next_tick)
+                next_tick += period
+            t = finish
+
+        return RuntimeRunResult(
+            schedule=Schedule(tuple(self._dispatched)),
+            enqueue_times=tuple(sorted(self._enqueue_times)),
+            makespan=t,
+            total_bubble_time=total_bubble,
+            total_exec_time=total_exec,
+            calls_at_level=calls_at_level,
+            samples_taken=samples_taken,
+        )
+
+
+def run_with_policy(
+    instance: OCSPInstance,
+    scheme: RuntimeScheme,
+    policy: str = "hotness",
+    compile_threads: int = 1,
+    sample_period: Optional[float] = None,
+) -> RuntimeRunResult:
+    """Convenience wrapper: replay ``instance`` under ``scheme`` with
+    the given queue policy."""
+    return PriorityRuntimeSimulator(
+        instance,
+        scheme,
+        policy=policy,
+        compile_threads=compile_threads,
+        sample_period=sample_period,
+    ).run()

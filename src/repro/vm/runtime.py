@@ -1,0 +1,232 @@
+"""Event-driven co-simulation of an adaptive runtime system.
+
+Real runtime systems do not plan a compilation schedule up front: they
+*react*.  Methods are enqueued for baseline compilation when first
+encountered, a sampler watches the running code, and recompilation
+requests join a FIFO queue served by the compiler thread(s)
+(Section 2).  The compilation order — and hence the make-span — emerges
+from those reactions.
+
+:class:`RuntimeSimulator` replays a call sequence through such a
+reactive system.  A :class:`RuntimeScheme` decides *what* to enqueue
+and *when* (Jikes RVM's sampling scheme and V8's count-based scheme are
+provided); the simulator handles timing: queue waits, compiler-thread
+occupancy, execution bubbles, and which compiled version each call
+runs.  Enqueue times are monotone (they follow execution), so FIFO
+dispatch can be resolved greedily with no global event queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.model import OCSPInstance
+from ..core.schedule import CompileTask, Schedule
+
+__all__ = [
+    "RuntimeScheme",
+    "RuntimeRunResult",
+    "RuntimeSimulator",
+    "default_sample_period",
+]
+
+
+def default_sample_period(instance: OCSPInstance, ticks: int = 1000) -> float:
+    """A sampling period giving roughly ``ticks`` samples per run.
+
+    Jikes RVM samples on a timer interrupt; in our abstract time units we
+    size the period so a run sees on the order of ``ticks`` samples of
+    level-0 execution.
+    """
+    total_base_exec = sum(
+        instance.profiles[f].exec_times[0] for f in instance.calls
+    )
+    if total_base_exec <= 0:
+        return 1.0
+    return total_base_exec / ticks
+
+
+@dataclass(frozen=True)
+class RuntimeRunResult:
+    """Outcome of a reactive-runtime replay.
+
+    Attributes:
+        schedule: compilation tasks in the order they were enqueued
+            (equals dequeue order under FIFO dispatch).
+        enqueue_times: when each task entered the queue.
+        makespan: end of the last invocation.
+        total_bubble_time: execution-thread waiting time.
+        total_exec_time: sum of invocation run times.
+        calls_at_level: histogram of the level each invocation ran at.
+        samples_taken: total sampler ticks that observed a function.
+    """
+
+    schedule: Schedule
+    enqueue_times: Tuple[float, ...]
+    makespan: float
+    total_bubble_time: float
+    total_exec_time: float
+    calls_at_level: Dict[int, int]
+    samples_taken: int
+
+
+class RuntimeScheme(ABC):
+    """Policy half of the co-simulation: decides compile requests."""
+
+    @abstractmethod
+    def initial_level(self, fname: str) -> int:
+        """Level of the blocking first-encounter compilation."""
+
+    def on_call_start(
+        self,
+        runtime: "RuntimeSimulator",
+        fname: str,
+        invocation: int,
+        time: float,
+    ) -> None:
+        """Hook at each invocation start (``invocation`` is 1-based)."""
+
+    def on_sample(
+        self, runtime: "RuntimeSimulator", fname: str, k: int, time: float
+    ) -> None:
+        """Hook at each sampler tick that observed ``fname`` running;
+        ``k`` is the total samples of ``fname`` so far."""
+
+
+class RuntimeSimulator:
+    """Timing half of the co-simulation.
+
+    Args:
+        instance: the workload (true times are used for all timing).
+        scheme: the reactive policy.
+        compile_threads: number of compiler threads serving the queue.
+        sample_period: sampler tick interval; ``None`` derives one via
+            :func:`default_sample_period`.  Ticks that land while the
+            execution thread is stalled observe nothing.
+    """
+
+    def __init__(
+        self,
+        instance: OCSPInstance,
+        scheme: RuntimeScheme,
+        compile_threads: int = 1,
+        sample_period: Optional[float] = None,
+    ):
+        if compile_threads < 1:
+            raise ValueError("compile_threads must be >= 1")
+        self.instance = instance
+        self.scheme = scheme
+        self.compile_threads = compile_threads
+        self.sample_period = (
+            sample_period
+            if sample_period is not None
+            else default_sample_period(instance)
+        )
+        if self.sample_period <= 0:
+            raise ValueError("sample_period must be positive")
+        # Mutable co-simulation state (reset by run()).
+        self._thread_free: List[float] = []
+        self._tasks: List[CompileTask] = []
+        self._enqueue_times: List[float] = []
+        self._finish_events: Dict[str, List[Tuple[float, int]]] = {}
+        self._requested_level: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # API for schemes
+    # ------------------------------------------------------------------
+    def enqueue(self, fname: str, level: int, time: float) -> None:
+        """Submit a compilation request at ``time`` (FIFO dispatch).
+
+        Ignores requests that do not raise the function's highest
+        requested level (a pending or finished request already covers
+        them), mirroring Jikes RVM's queue behaviour.
+        """
+        prof = self.instance.profiles[fname]
+        if not 0 <= level < prof.num_levels:
+            raise ValueError(f"level {level} out of range for {fname!r}")
+        prev = self._requested_level.get(fname, -1)
+        if level <= prev:
+            return
+        self._requested_level[fname] = level
+        start_free = heapq.heappop(self._thread_free)
+        start = start_free if start_free > time else time
+        finish = start + prof.compile_times[level]
+        heapq.heappush(self._thread_free, finish)
+        self._tasks.append(CompileTask(fname, level))
+        self._enqueue_times.append(time)
+        self._finish_events.setdefault(fname, []).append((finish, level))
+
+    def requested_level(self, fname: str) -> int:
+        """Highest level requested so far for ``fname`` (-1 if none)."""
+        return self._requested_level.get(fname, -1)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def run(self) -> RuntimeRunResult:
+        """Replay the call sequence; returns timings and the emergent
+        compilation schedule."""
+        self._thread_free = [0.0] * self.compile_threads
+        heapq.heapify(self._thread_free)
+        self._tasks = []
+        self._enqueue_times = []
+        self._finish_events = {}
+        self._requested_level = {}
+
+        instance = self.instance
+        scheme = self.scheme
+        period = self.sample_period
+
+        invocations: Dict[str, int] = {}
+        samples: Dict[str, int] = {}
+        samples_taken = 0
+        calls_at_level: Dict[int, int] = {}
+        total_bubble = 0.0
+        total_exec = 0.0
+        t = 0.0
+        next_tick = period
+
+        for fname in instance.calls:
+            invocation = invocations.get(fname, 0) + 1
+            invocations[fname] = invocation
+            if invocation == 1:
+                # First encounter: request the baseline compilation now.
+                self.enqueue(fname, scheme.initial_level(fname), t)
+            scheme.on_call_start(self, fname, invocation, t)
+
+            events = self._finish_events[fname]
+            first_ready = events[0][0]
+            start = t if t >= first_ready else first_ready
+            total_bubble += start - t
+            best = -1
+            for finish_time, level in events:
+                if finish_time <= start and level > best:
+                    best = level
+            exec_time = instance.profiles[fname].exec_times[best]
+            finish = start + exec_time
+            total_exec += exec_time
+            calls_at_level[best] = calls_at_level.get(best, 0) + 1
+
+            # Sampler ticks: those inside (start, finish] observe fname;
+            # ticks inside the bubble observe a stalled thread.
+            while next_tick <= finish:
+                if next_tick > start:
+                    k = samples.get(fname, 0) + 1
+                    samples[fname] = k
+                    samples_taken += 1
+                    scheme.on_sample(self, fname, k, next_tick)
+                next_tick += period
+            t = finish
+
+        return RuntimeRunResult(
+            schedule=Schedule(tuple(self._tasks)),
+            enqueue_times=tuple(self._enqueue_times),
+            makespan=t,
+            total_bubble_time=total_bubble,
+            total_exec_time=total_exec,
+            calls_at_level=calls_at_level,
+            samples_taken=samples_taken,
+        )

@@ -1,0 +1,18 @@
+"""Workload generation and trace I/O.
+
+* :mod:`repro.workloads.synthetic` — parameterized trace generator;
+* :mod:`repro.workloads.dacapo` — the nine Table-1 benchmark presets;
+* :mod:`repro.workloads.traces` — JSON trace (de)serialization.
+"""
+
+from . import call_log, dacapo, traces
+from .synthetic import DEFAULT_LEVEL_COMPILE_FACTORS, WorkloadSpec, generate
+
+__all__ = [
+    "WorkloadSpec",
+    "generate",
+    "DEFAULT_LEVEL_COMPILE_FACTORS",
+    "dacapo",
+    "call_log",
+    "traces",
+]

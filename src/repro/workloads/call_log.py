@@ -1,0 +1,154 @@
+"""Import OCSP instances from external profiler output.
+
+A downstream user of this library has a *real* runtime and wants to ask
+the paper's question about it.  What their profiler can realistically
+produce is:
+
+* a **call log** — one function name per line, in invocation order
+  (optionally prefixed with a timestamp, which we ignore: Definition 1
+  only needs the order);
+* a **cost table** — CSV with one row per function:
+  ``name, c0, c1, ..., e0, e1, ...`` giving compile and per-invocation
+  execution times for each level.
+
+:func:`instance_from_logs` turns those two artifacts into an
+:class:`~repro.core.model.OCSPInstance`, validating the monotonicity
+assumptions and reporting actionable errors (line numbers, offending
+function names).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.model import FunctionProfile, ModelError, OCSPInstance
+
+__all__ = ["parse_call_log", "parse_cost_table", "instance_from_logs"]
+
+
+def parse_call_log(text: str) -> Tuple[str, ...]:
+    """Parse a call log: one invocation per line.
+
+    Each non-empty, non-comment (``#``) line is either ``name`` or
+    ``timestamp name`` (whitespace-separated; the timestamp — anything
+    parseable as a float — is ignored, as only the order matters).
+
+    Raises:
+        ValueError: for a line with more than two fields.
+    """
+    calls: List[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) == 1:
+            calls.append(parts[0])
+        elif len(parts) == 2:
+            try:
+                float(parts[0])
+            except ValueError as exc:
+                raise ValueError(
+                    f"call log line {lineno}: expected 'timestamp name', "
+                    f"got {raw!r}"
+                ) from exc
+            calls.append(parts[1])
+        else:
+            raise ValueError(
+                f"call log line {lineno}: too many fields in {raw!r}"
+            )
+    return tuple(calls)
+
+
+def parse_cost_table(text: str) -> Dict[str, FunctionProfile]:
+    """Parse the per-function cost CSV.
+
+    Header must be ``name, c0..c<L-1>, e0..e<L-1>`` (any single level
+    count ``L``); every row supplies that many compile and execution
+    times.  Monotonicity (Definition 1) is validated per function.
+
+    Raises:
+        ValueError: on malformed headers or rows.
+        ModelError: when a function's costs violate Definition 1.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("cost table is empty")
+    header = [h.strip() for h in header]
+    if not header or header[0] != "name":
+        raise ValueError("cost table header must start with 'name'")
+    c_cols = [h for h in header[1:] if h.startswith("c")]
+    e_cols = [h for h in header[1:] if h.startswith("e")]
+    if not c_cols or len(c_cols) != len(e_cols):
+        raise ValueError(
+            "cost table needs matching c0..cN and e0..eN columns, got "
+            f"{header[1:]}"
+        )
+    if header[1:] != c_cols + e_cols:
+        raise ValueError("cost table columns must be name, c..., e...")
+    levels = len(c_cols)
+
+    profiles: Dict[str, FunctionProfile] = {}
+    for lineno, row in enumerate(reader, start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if len(row) != 1 + 2 * levels:
+            raise ValueError(
+                f"cost table line {lineno}: expected {1 + 2 * levels} "
+                f"fields, got {len(row)}"
+            )
+        name = row[0].strip()
+        if name in profiles:
+            raise ValueError(f"cost table line {lineno}: duplicate {name!r}")
+        try:
+            values = [float(cell) for cell in row[1:]]
+        except ValueError as exc:
+            raise ValueError(
+                f"cost table line {lineno}: non-numeric cost in {row!r}"
+            ) from exc
+        profiles[name] = FunctionProfile(
+            name=name,
+            compile_times=tuple(values[:levels]),
+            exec_times=tuple(values[levels:]),
+        )
+    if not profiles:
+        raise ValueError("cost table has no data rows")
+    return profiles
+
+
+def instance_from_logs(
+    call_log: Union[str, Path],
+    cost_table: Union[str, Path],
+    name: str = "imported",
+    from_files: bool = True,
+) -> OCSPInstance:
+    """Build an instance from a profiler call log and a cost table.
+
+    Args:
+        call_log: path to the call log (or its text when
+            ``from_files=False``).
+        cost_table: path to the cost CSV (or its text).
+        name: instance label.
+        from_files: treat the first two arguments as paths (default) or
+            as raw text.
+
+    Raises:
+        ValueError / ModelError: propagated from the parsers, plus a
+            check that every called function has a cost row.
+    """
+    log_text = Path(call_log).read_text() if from_files else str(call_log)
+    table_text = Path(cost_table).read_text() if from_files else str(cost_table)
+    calls = parse_call_log(log_text)
+    profiles = parse_cost_table(table_text)
+    missing = sorted({f for f in calls if f not in profiles})
+    if missing:
+        raise ValueError(
+            "call log references functions absent from the cost table: "
+            + ", ".join(missing[:10])
+        )
+    return OCSPInstance(profiles=profiles, calls=calls, name=name)

@@ -1,0 +1,118 @@
+"""Trace (de)serialization.
+
+An :class:`~repro.core.model.OCSPInstance` round-trips through a compact
+JSON document: the profile table plus the call sequence as indices into
+it.  This is the interchange format between the mini-VM
+(:mod:`repro.jitsim`), the generators, and offline analysis — the
+equivalent of the paper's collected advice/trace files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..core.model import FunctionProfile, OCSPInstance
+from ..core.schedule import CompileTask, Schedule
+
+__all__ = [
+    "to_json",
+    "from_json",
+    "save",
+    "load",
+    "schedule_to_json",
+    "schedule_from_json",
+    "save_schedule",
+    "load_schedule",
+]
+
+_FORMAT_VERSION = 1
+
+
+def to_json(instance: OCSPInstance) -> str:
+    """Serialize an instance to a JSON string."""
+    names = sorted(instance.profiles)
+    index = {name: i for i, name in enumerate(names)}
+    doc = {
+        "version": _FORMAT_VERSION,
+        "name": instance.name,
+        "functions": [
+            {
+                "name": name,
+                "compile_times": list(instance.profiles[name].compile_times),
+                "exec_times": list(instance.profiles[name].exec_times),
+            }
+            for name in names
+        ],
+        "calls": [index[f] for f in instance.calls],
+    }
+    return json.dumps(doc, separators=(",", ":"))
+
+
+def from_json(text: str) -> OCSPInstance:
+    """Deserialize an instance from :func:`to_json` output.
+
+    Raises:
+        ValueError: on an unsupported format version or malformed doc.
+    """
+    doc = json.loads(text)
+    version = doc.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version: {version!r}")
+    profiles: Dict[str, FunctionProfile] = {}
+    names: List[str] = []
+    for entry in doc["functions"]:
+        prof = FunctionProfile(
+            name=entry["name"],
+            compile_times=tuple(entry["compile_times"]),
+            exec_times=tuple(entry["exec_times"]),
+        )
+        profiles[prof.name] = prof
+        names.append(prof.name)
+    calls = tuple(names[i] for i in doc["calls"])
+    return OCSPInstance(profiles=profiles, calls=calls, name=doc.get("name", "trace"))
+
+
+def save(instance: OCSPInstance, path: Union[str, Path]) -> None:
+    """Write an instance to ``path`` as JSON."""
+    Path(path).write_text(to_json(instance))
+
+
+def load(path: Union[str, Path]) -> OCSPInstance:
+    """Read an instance previously written by :func:`save`."""
+    return from_json(Path(path).read_text())
+
+
+def schedule_to_json(schedule: Schedule) -> str:
+    """Serialize a compilation schedule to a JSON string."""
+    doc = {
+        "version": _FORMAT_VERSION,
+        "tasks": [[t.function, t.level] for t in schedule],
+    }
+    return json.dumps(doc, separators=(",", ":"))
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Deserialize a schedule from :func:`schedule_to_json` output.
+
+    Raises:
+        ValueError: on an unsupported format version.
+    """
+    doc = json.loads(text)
+    version = doc.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported schedule format version: {version!r}")
+    return Schedule(
+        tuple(CompileTask(fname, int(level)) for fname, level in doc["tasks"])
+    )
+
+
+def save_schedule(schedule: Schedule, path: Union[str, Path]) -> None:
+    """Write a schedule to ``path`` as JSON."""
+    Path(path).write_text(schedule_to_json(schedule))
+
+
+def load_schedule(path: Union[str, Path]) -> Schedule:
+    """Read a schedule previously written by :func:`save_schedule`."""
+    return schedule_from_json(Path(path).read_text())

@@ -1,0 +1,75 @@
+"""Shared fixtures: the paper's worked example and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FunctionProfile, OCSPInstance
+from repro.workloads import WorkloadSpec, generate
+
+
+@pytest.fixture()
+def fig_profiles():
+    """Cost tables of the paper's Figures 1–2 example (reconstructed
+    from the schedule timings printed in the figures).
+
+    f0: one level (c=1, e=1); f1: (c=1,e=3) / (c=4,e=2);
+    f2: (c=1,e=3) / (c=5,e=1).
+    """
+    return {
+        "f0": FunctionProfile("f0", (1.0,), (1.0,)),
+        "f1": FunctionProfile("f1", (1.0, 4.0), (3.0, 2.0)),
+        "f2": FunctionProfile("f2", (1.0, 5.0), (3.0, 1.0)),
+    }
+
+
+@pytest.fixture()
+def fig1_instance(fig_profiles):
+    """Figure 1's call sequence: f0 f1 f2 f1."""
+    return OCSPInstance(fig_profiles, ("f0", "f1", "f2", "f1"), name="fig1")
+
+
+@pytest.fixture()
+def fig2_instance(fig_profiles):
+    """Figure 2's call sequence: f0 f1 f2 f1 f2."""
+    return OCSPInstance(fig_profiles, ("f0", "f1", "f2", "f1", "f2"), name="fig2")
+
+
+@pytest.fixture()
+def two_function_instance():
+    """A hot/cold pair used for targeted scheduler assertions."""
+    profiles = {
+        "hot": FunctionProfile("hot", (1.0, 10.0), (5.0, 1.0)),
+        "cold": FunctionProfile("cold", (1.0, 20.0), (2.0, 1.0)),
+    }
+    calls = ("cold",) + ("hot",) * 20
+    return OCSPInstance(profiles, calls, name="hotcold")
+
+
+@pytest.fixture(scope="session")
+def small_synthetic():
+    """A deterministic mid-size synthetic instance (session-cached)."""
+    spec = WorkloadSpec(
+        name="small",
+        num_functions=40,
+        num_calls=4000,
+        num_levels=4,
+        base_compile_us=30.0,
+        mean_exec_us=3.0,
+    )
+    return generate(spec, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_synthetic():
+    """A tiny 2-level instance that exact search can solve."""
+    spec = WorkloadSpec(
+        name="tiny",
+        num_functions=4,
+        num_calls=16,
+        num_levels=2,
+        base_compile_us=20.0,
+        mean_exec_us=10.0,
+        max_speedup_range=(1.5, 4.0),
+    )
+    return generate(spec, seed=3)

@@ -1,0 +1,86 @@
+"""Tests for A*-search (Section 5.3)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AStarMemoryExceeded,
+    FunctionProfile,
+    OCSPInstance,
+    astar_schedule,
+    optimal_schedule,
+    simulate,
+)
+from repro.workloads import WorkloadSpec, generate
+
+
+class TestOptimality:
+    def test_fig1(self, fig1_instance):
+        result = astar_schedule(fig1_instance)
+        assert result.makespan == 10.0
+
+    def test_fig2(self, fig2_instance):
+        result = astar_schedule(fig2_instance)
+        assert result.makespan == 12.0
+
+    def test_schedule_simulates_to_reported_makespan(self, fig2_instance):
+        result = astar_schedule(fig2_instance)
+        assert simulate(fig2_instance, result.schedule).makespan == result.makespan
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bruteforce_on_random_instances(self, seed):
+        spec = WorkloadSpec(
+            name=f"astar-{seed}",
+            num_functions=3,
+            num_calls=12,
+            num_levels=2,
+            base_compile_us=25.0,
+            mean_exec_us=10.0,
+            max_speedup_range=(1.5, 4.0),
+        )
+        inst = generate(spec, seed=seed)
+        exact = optimal_schedule(inst)
+        astar = astar_schedule(inst)
+        assert astar.makespan == pytest.approx(exact.makespan)
+
+    def test_prunes_search_space(self, fig2_instance):
+        result = astar_schedule(fig2_instance)
+        # The tree has paths_total full permutations; A* should expand
+        # far fewer nodes than 5! would suggest.
+        assert result.paths_total == 30  # 5!/(1!*2!*2!)
+        assert result.nodes_expanded < 200
+
+
+class TestPathsTotal:
+    def test_multinomial(self):
+        profiles = {
+            f"f{i}": FunctionProfile(f"f{i}", (1.0, 2.0), (2.0, 1.0))
+            for i in range(6)
+        }
+        calls = tuple(f"f{i}" for i in range(6))
+        inst = OCSPInstance(profiles, calls)
+        result = astar_schedule(inst, max_frontier=2_000_000)
+        # 12 tasks, 2 per function: 12! / 2^6
+        assert result.paths_total == math.factorial(12) // 2 ** 6
+
+
+class TestMemoryBound:
+    def test_frontier_blowup_raises(self):
+        spec = WorkloadSpec(
+            name="astar-big",
+            num_functions=8,
+            num_calls=60,
+            num_levels=2,
+            base_compile_us=25.0,
+            mean_exec_us=10.0,
+        )
+        inst = generate(spec, seed=0)
+        with pytest.raises(AStarMemoryExceeded) as info:
+            astar_schedule(inst, max_frontier=2000)
+        assert info.value.nodes_expanded > 0
+        assert info.value.frontier_size > 2000
+
+    def test_empty_instance_rejected(self):
+        with pytest.raises(ValueError):
+            astar_schedule(OCSPInstance({}, ()))

@@ -1,0 +1,103 @@
+"""Tests for the external call-log / cost-table importer."""
+
+import pytest
+
+from repro.core import iar_schedule, simulate
+from repro.core.model import ModelError
+from repro.workloads.call_log import (
+    instance_from_logs,
+    parse_call_log,
+    parse_cost_table,
+)
+
+COSTS = """name,c0,c1,e0,e1
+alpha,10,100,5,1
+beta,12,90,4,2
+"""
+
+LOG = """# warmup
+0.0 alpha
+0.5 beta
+alpha
+alpha
+"""
+
+
+class TestParseCallLog:
+    def test_basic(self):
+        assert parse_call_log(LOG) == ("alpha", "beta", "alpha", "alpha")
+
+    def test_comments_and_blanks(self):
+        assert parse_call_log("\n# x\nalpha\n\n") == ("alpha",)
+
+    def test_bad_timestamp(self):
+        with pytest.raises(ValueError, match="timestamp"):
+            parse_call_log("notanumber alpha")
+
+    def test_too_many_fields(self):
+        with pytest.raises(ValueError, match="too many"):
+            parse_call_log("1.0 alpha extra")
+
+    def test_empty_log(self):
+        assert parse_call_log("") == ()
+
+
+class TestParseCostTable:
+    def test_basic(self):
+        profiles = parse_cost_table(COSTS)
+        assert profiles["alpha"].compile_times == (10.0, 100.0)
+        assert profiles["beta"].exec_times == (4.0, 2.0)
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_cost_table("")
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            parse_cost_table("func,c0,e0\na,1,2")
+
+    def test_mismatched_levels(self):
+        with pytest.raises(ValueError, match="matching"):
+            parse_cost_table("name,c0,c1,e0\na,1,2,3")
+
+    def test_wrong_field_count(self):
+        with pytest.raises(ValueError, match="fields"):
+            parse_cost_table("name,c0,e0\na,1")
+
+    def test_duplicate_function(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_cost_table("name,c0,e0\na,1,2\na,1,2")
+
+    def test_non_numeric(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_cost_table("name,c0,e0\na,one,2")
+
+    def test_monotonicity_enforced(self):
+        with pytest.raises(ModelError):
+            parse_cost_table("name,c0,c1,e0,e1\na,10,5,1,1")
+
+    def test_no_rows(self):
+        with pytest.raises(ValueError, match="no data"):
+            parse_cost_table("name,c0,e0\n")
+
+
+class TestInstanceFromLogs:
+    def test_end_to_end_text(self):
+        inst = instance_from_logs(LOG, COSTS, from_files=False, name="ext")
+        assert inst.num_calls == 4
+        assert inst.call_count("alpha") == 3
+        sched = iar_schedule(inst)
+        sched.validate(inst)
+        assert simulate(inst, sched, validate=False).makespan > 0
+
+    def test_end_to_end_files(self, tmp_path):
+        log = tmp_path / "calls.log"
+        costs = tmp_path / "costs.csv"
+        log.write_text(LOG)
+        costs.write_text(COSTS)
+        inst = instance_from_logs(log, costs)
+        assert inst.num_functions == 2
+
+    def test_missing_costs_reported(self):
+        with pytest.raises(ValueError, match="absent"):
+            instance_from_logs("gamma\n", COSTS, from_files=False)

@@ -1,0 +1,151 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads import traces
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    path = tmp_path / "trace.json"
+    code = main(
+        [
+            "generate",
+            "--functions", "20",
+            "--calls", "800",
+            "--seed", "7",
+            "-o", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestGenerate:
+    def test_synthetic(self, trace_file):
+        inst = traces.load(trace_file)
+        assert inst.num_calls == 800
+        assert inst.num_functions == 20
+
+    def test_benchmark_preset(self, tmp_path, capsys):
+        path = tmp_path / "fop.json"
+        code = main(
+            ["generate", "--benchmark", "fop", "--scale", "0.002", "-o", str(path)]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        inst = traces.load(path)
+        assert inst.name == "fop"
+
+
+class TestScheduleEvaluateDiagnose:
+    @pytest.mark.parametrize(
+        "algorithm", ["iar", "base", "opt", "hotness", "budget", "ondemand", "jikes", "v8"]
+    )
+    def test_all_algorithms(self, trace_file, tmp_path, algorithm):
+        out = tmp_path / f"{algorithm}.json"
+        assert main(
+            ["schedule", str(trace_file), "--algorithm", algorithm, "-o", str(out)]
+        ) == 0
+        schedule = traces.load_schedule(out)
+        instance = traces.load(trace_file)
+        schedule.validate(instance)
+
+    def test_evaluate(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "iar.json"
+        main(["schedule", str(trace_file), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["evaluate", str(trace_file), str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "make-span" in text
+        assert "normalized" in text
+
+    def test_evaluate_with_threads(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "iar.json"
+        main(["schedule", str(trace_file), "-o", str(out)])
+        assert main(
+            ["evaluate", str(trace_file), str(out), "--threads", "4"]
+        ) == 0
+
+    def test_diagnose(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "base.json"
+        main(["schedule", str(trace_file), "--algorithm", "base", "-o", str(out)])
+        capsys.readouterr()
+        assert main(["diagnose", str(trace_file), str(out), "--top", "3"]) == 0
+        text = capsys.readouterr().out
+        assert "worst offenders" in text
+        assert "never-upgraded" in text
+
+
+class TestStudyAndWalkthrough:
+    def test_study_table1(self, capsys):
+        assert main(["study", "--figure", "table1", "--scale", "0.002"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_study_fig5(self, capsys):
+        assert main(["study", "--figure", "fig5", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "average" in out
+
+    def test_walkthrough(self, capsys):
+        assert main(["walkthrough"]) == 0
+        out = capsys.readouterr().out
+        assert "make-span: 10.0" in out  # scheme s3
+        assert "make-span: 11.0" in out  # scheme s1
+
+
+class TestScheduleRoundTrip:
+    def test_schedule_json_roundtrip(self, trace_file, tmp_path):
+        out = tmp_path / "sched.json"
+        main(["schedule", str(trace_file), "-o", str(out)])
+        doc = json.loads(out.read_text())
+        assert doc["version"] == 1
+        schedule = traces.schedule_from_json(out.read_text())
+        assert traces.schedule_to_json(schedule) == out.read_text()
+
+    def test_bad_schedule_version(self):
+        with pytest.raises(ValueError, match="version"):
+            traces.schedule_from_json('{"version": 9, "tasks": []}')
+
+
+class TestStudyAllFigures:
+    @pytest.mark.parametrize("figure", ["fig6", "fig7", "fig8", "table2"])
+    def test_each_figure_runs(self, capsys, figure):
+        assert main(["study", "--figure", figure, "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert ("Figure" in out) or ("Table" in out)
+
+
+class TestImportTrace:
+    def test_import_and_schedule(self, tmp_path, capsys):
+        log = tmp_path / "calls.log"
+        costs = tmp_path / "costs.csv"
+        log.write_text("alpha\nbeta\nalpha\n")
+        costs.write_text("name,c0,c1,e0,e1\nalpha,10,100,5,1\nbeta,12,90,4,2\n")
+        out = tmp_path / "trace.json"
+        assert main(
+            ["import-trace", str(log), str(costs), "-o", str(out)]
+        ) == 0
+        sched = tmp_path / "sched.json"
+        assert main(["schedule", str(out), "-o", str(sched)]) == 0
+        capsys.readouterr()
+        assert main(["evaluate", str(out), str(sched)]) == 0
+        assert "normalized" in capsys.readouterr().out

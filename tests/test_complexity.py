@@ -1,0 +1,219 @@
+"""Tests for the NP-completeness reductions (Theorem 2)."""
+
+import itertools
+
+import pytest
+
+from repro.core import simulate
+from repro.core.complexity import (
+    extract_partition_subset,
+    ocsp_from_3sat,
+    ocsp_from_partition,
+    partition_from_subset_sum,
+    schedule_from_partition_subset,
+    solve_partition,
+    subset_sum_from_3sat,
+    verify_partition_subset,
+)
+
+
+def brute_force_partition(values):
+    """Reference solver: try every subset."""
+    total = sum(values)
+    if total % 2:
+        return None
+    target = total // 2
+    for r in range(len(values) + 1):
+        for combo in itertools.combinations(range(len(values)), r):
+            if sum(values[i] for i in combo) == target:
+                return set(combo)
+    return None
+
+
+class TestSolvePartition:
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [1, 1],
+            [3, 1, 2, 2],
+            [5, 5, 4, 3, 2, 1],
+            [2, 2, 2, 2],
+            [7, 3, 2, 1, 1],
+            [10, 9, 8, 7, 6, 5, 4, 3, 2, 1],  # wait: sum 55, odd
+        ],
+    )
+    def test_matches_brute_force(self, values):
+        expected = brute_force_partition(values)
+        got = solve_partition(values)
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert sum(values[i] for i in got) == sum(values) // 2
+
+    def test_odd_total_unsolvable(self):
+        assert solve_partition([1, 2]) is None
+
+    def test_even_total_but_no_partition(self):
+        assert solve_partition([1, 1, 4]) is None
+
+    def test_empty_has_trivial_partition(self):
+        assert solve_partition([]) == set()
+
+
+class TestConstruction:
+    def test_instance_shape(self):
+        red = ocsp_from_partition([3, 1, 2, 2])
+        inst = red.instance
+        assert inst.num_calls == 4 + 2  # middles + first + last
+        assert red.target == 4
+        assert red.optimal_makespan == 2 * (1 + 4 + 4)
+
+    def test_middle_function_costs(self):
+        red = ocsp_from_partition([3, 1, 2, 2])
+        prof = red.instance.profiles["m0"]
+        assert prof.compile_times == (1.0, 4.0)
+        assert prof.exec_times == (4.0, 1.0)
+
+    def test_first_and_last_functions(self):
+        red = ocsp_from_partition([3, 1, 2, 2])
+        first = red.instance.profiles["__first__"]
+        last = red.instance.profiles["__last__"]
+        t_plus_n = 4 + 4
+        assert first.compile_times[0] == 1.0
+        assert first.exec_times[0] == t_plus_n
+        assert last.compile_times[0] == t_plus_n
+        assert last.exec_times[0] == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ocsp_from_partition([-1, 1])
+
+    def test_rejects_odd_total(self):
+        with pytest.raises(ValueError, match="odd"):
+            ocsp_from_partition([1, 2])
+
+
+class TestForwardDirection:
+    """A partition subset yields a schedule meeting the bound."""
+
+    @pytest.mark.parametrize(
+        "values",
+        [[1, 1], [3, 1, 2, 2], [5, 5, 4, 3, 2, 1], [2, 2, 2, 2], [0, 0]],
+    )
+    def test_witness_schedule_achieves_bound(self, values):
+        red = ocsp_from_partition(values)
+        subset = solve_partition(values)
+        assert subset is not None
+        assert verify_partition_subset(red, subset)
+        sched = schedule_from_partition_subset(red, subset)
+        result = simulate(red.instance, sched, compile_threads=1)
+        assert result.makespan == pytest.approx(red.optimal_makespan)
+
+    def test_non_partition_subset_misses_bound(self):
+        values = [3, 1, 2, 2]
+        red = ocsp_from_partition(values)
+        bad = {0, 1}  # sums to 4 == target... pick a non-partition one
+        assert sum(values[i] for i in bad) == red.target  # actually valid
+        truly_bad = {0}  # sums to 3 != 4
+        sched = schedule_from_partition_subset(red, truly_bad)
+        result = simulate(red.instance, sched)
+        assert result.makespan > red.optimal_makespan
+
+
+class TestConverseDirection:
+    """A schedule meeting the bound encodes a partition."""
+
+    def test_extract_from_witness(self):
+        values = [3, 1, 2, 2]
+        red = ocsp_from_partition(values)
+        subset = solve_partition(values)
+        sched = schedule_from_partition_subset(red, subset)
+        extracted = extract_partition_subset(red, sched)
+        assert extracted is not None
+        assert sum(values[i] for i in extracted) == red.target
+
+    def test_extract_fails_for_bad_schedule(self):
+        values = [3, 1, 2, 2]
+        red = ocsp_from_partition(values)
+        sched = schedule_from_partition_subset(red, {0})
+        assert extract_partition_subset(red, sched) is None
+
+    def test_exhaustive_equivalence_small(self):
+        """For every subset choice: bound met <=> subset is a partition."""
+        values = [2, 1, 1, 2]
+        red = ocsp_from_partition(values)
+        for r in range(len(values) + 1):
+            for combo in itertools.combinations(range(len(values)), r):
+                subset = set(combo)
+                sched = schedule_from_partition_subset(red, subset)
+                span = simulate(red.instance, sched).makespan
+                if verify_partition_subset(red, subset):
+                    assert span == pytest.approx(red.optimal_makespan)
+                else:
+                    assert span > red.optimal_makespan
+
+
+SAT_FORMULA = [(1, 2, 3), (-1, 2, 3), (1, -2, 3)]  # satisfiable
+UNSAT_FORMULA = [
+    (1, 2, 3), (1, 2, -3), (1, -2, 3), (1, -2, -3),
+    (-1, 2, 3), (-1, 2, -3), (-1, -2, 3), (-1, -2, -3),
+]  # all sign patterns over x1..x3: unsatisfiable
+
+
+def brute_force_sat(clauses):
+    variables = sorted({abs(l) for c in clauses for l in c})
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assign = dict(zip(variables, bits))
+        if all(
+            any((lit > 0) == assign[abs(lit)] for lit in clause)
+            for clause in clauses
+        ):
+            return assign
+    return None
+
+
+class TestThreeSatChain:
+    def test_subset_sum_reduction_satisfiable(self):
+        values, target = subset_sum_from_3sat(SAT_FORMULA)
+        assert brute_force_sat(SAT_FORMULA) is not None
+        # A subset summing to target exists (check with DP on the
+        # derived PARTITION instance).
+        partition_values = partition_from_subset_sum(values, target)
+        assert solve_partition(partition_values) is not None
+
+    def test_subset_sum_reduction_unsatisfiable(self):
+        assert brute_force_sat(UNSAT_FORMULA) is None
+        values, target = subset_sum_from_3sat(UNSAT_FORMULA)
+        partition_values = partition_from_subset_sum(values, target)
+        assert solve_partition(partition_values) is None
+
+    def test_ocsp_from_3sat_satisfiable(self):
+        red = ocsp_from_3sat(SAT_FORMULA)
+        partition_values = red.values
+        subset = solve_partition(list(partition_values))
+        assert subset is not None
+        sched = schedule_from_partition_subset(red, subset)
+        span = simulate(red.instance, sched).makespan
+        assert span == pytest.approx(red.optimal_makespan)
+
+    def test_rejects_empty_formula(self):
+        with pytest.raises(ValueError):
+            subset_sum_from_3sat([])
+
+    def test_rejects_repeated_variable_in_clause(self):
+        with pytest.raises(ValueError, match="distinct"):
+            subset_sum_from_3sat([(1, 1, 2)])
+
+    def test_partition_from_subset_sum_bounds(self):
+        with pytest.raises(ValueError):
+            partition_from_subset_sum([1, 2], 10)
+
+    def test_partition_from_subset_sum_equivalence(self):
+        # subset of [3,5,2] summing to 5 exists
+        values = [3, 5, 2]
+        derived = partition_from_subset_sum(values, 5)
+        assert solve_partition(derived) is not None
+        # no subset sums to 9
+        derived = partition_from_subset_sum(values, 9)
+        assert solve_partition(derived) is None

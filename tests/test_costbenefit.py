@@ -1,0 +1,143 @@
+"""Tests for the cost-benefit models (Sections 2, 6.2.2)."""
+
+import pytest
+
+from repro.core import FunctionProfile, OCSPInstance
+from repro.vm.costbenefit import EstimatedModel, OracleModel
+
+
+@pytest.fixture()
+def instance():
+    profiles = {
+        "hot": FunctionProfile("hot", (1.0, 10.0, 40.0), (8.0, 2.0, 1.0)),
+        "cold": FunctionProfile("cold", (1.0, 10.0, 40.0), (8.0, 2.0, 1.0)),
+    }
+    calls = ("cold",) + ("hot",) * 499
+    return OCSPInstance(profiles, calls, name="cb")
+
+
+def honest(instance, cls=OracleModel, **kwargs):
+    """A model with the hotness predictor switched off."""
+    return cls(
+        instance,
+        hotness_optimism=1.0,
+        hotness_sigma=0.0,
+        hotness_floor=0.0,
+        **kwargs,
+    )
+
+
+class TestOracleModel:
+    def test_reports_actual_times(self, instance):
+        model = OracleModel(instance)
+        assert model.compile_time("hot", 2) == 40.0
+        assert model.exec_time("hot", 0) == 8.0
+        assert model.num_levels("hot") == 3
+
+    def test_honest_suitable_level_matches_profile(self, instance):
+        model = honest(instance)
+        prof = instance.profiles["hot"]
+        assert model.suitable_level("hot", 499) == prof.most_cost_effective_level(
+            499, tie_break="high"
+        )
+
+    def test_honest_predictor_is_exact(self, instance):
+        model = honest(instance)
+        assert model.predicted_calls("hot", 499) == 499.0
+
+    def test_hotness_floor_raises_cold_levels(self, instance):
+        aggressive = OracleModel(
+            instance, hotness_optimism=4.0, hotness_sigma=0.0, hotness_floor=0.5
+        )
+        exact = honest(instance)
+        assert aggressive.suitable_level("cold", 1) >= exact.suitable_level(
+            "cold", 1
+        )
+
+    def test_prediction_confidence_grows_with_hotness(self, instance):
+        model = OracleModel(
+            instance, hotness_optimism=5.0, hotness_sigma=0.0, hotness_floor=0.01
+        )
+        # Relative over-prediction shrinks as actual calls grow.
+        cold_ratio = model.predicted_calls("cold", 1) / 1
+        hot_ratio = model.predicted_calls("cold", 400) / 400
+        assert hot_ratio < cold_ratio
+
+    def test_bad_parameters_rejected(self, instance):
+        with pytest.raises(ValueError):
+            OracleModel(instance, hotness_optimism=0.0)
+        with pytest.raises(ValueError):
+            OracleModel(instance, hotness_sigma=-1.0)
+        with pytest.raises(ValueError):
+            OracleModel(instance, hotness_floor=-0.1)
+
+
+class TestEstimatedModel:
+    def test_deterministic(self, instance):
+        a = EstimatedModel(instance, seed=3)
+        b = EstimatedModel(instance, seed=3)
+        assert a.compile_time("hot", 1) == b.compile_time("hot", 1)
+        assert a.exec_time("cold", 2) == b.exec_time("cold", 2)
+
+    def test_zero_error_zero_bias_matches_oracle_times(self, instance):
+        est = EstimatedModel(instance, rel_error=0.0, level_bias=0.0)
+        oracle = OracleModel(instance)
+        for level in range(3):
+            assert est.compile_time("hot", level) == oracle.compile_time(
+                "hot", level
+            )
+            assert est.exec_time("hot", level) == oracle.exec_time("hot", level)
+
+    def test_noise_distorts_times(self, instance):
+        est = EstimatedModel(instance, rel_error=0.8, level_bias=0.0)
+        oracle = OracleModel(instance)
+        assert est.exec_time("hot", 0) != oracle.exec_time("hot", 0)
+
+    def test_level_bias_understates_deep_benefit(self, instance):
+        est = EstimatedModel(instance, rel_error=0.0, level_bias=0.5)
+        oracle = OracleModel(instance)
+        # Level-0 estimate untouched; deeper estimates inflated.
+        assert est.exec_time("hot", 0) == oracle.exec_time("hot", 0)
+        assert est.exec_time("hot", 2) > oracle.exec_time("hot", 2)
+
+    def test_level_bias_never_breaks_monotonicity(self, instance):
+        est = EstimatedModel(instance, rel_error=0.7, level_bias=0.9, seed=5)
+        for fname in ("hot", "cold"):
+            times = [est.exec_time(fname, j) for j in range(3)]
+            assert times == sorted(times, reverse=True)
+
+    def test_negative_bias_rejected(self, instance):
+        with pytest.raises(ValueError):
+            EstimatedModel(instance, level_bias=-0.1)
+
+
+class TestRecompilationTest:
+    def test_fires_for_hot_function(self, instance):
+        model = honest(instance)
+        # With a large future-call estimate, the upgrade pays off.
+        assert model.recompilation_level("hot", 0, future_calls=1000) is not None
+
+    def test_silent_for_cold_function(self, instance):
+        model = honest(instance)
+        assert model.recompilation_level("hot", 0, future_calls=1) is None
+
+    def test_no_level_above_top(self, instance):
+        model = honest(instance)
+        assert model.recompilation_level("hot", 2, future_calls=10_000) is None
+
+    def test_picks_minimum_cost_level(self, instance):
+        model = honest(instance)
+        # future=10: level1 cost 10+20=30, level2 cost 40+10=50, stay 80
+        assert model.recompilation_level("hot", 0, future_calls=10) == 1
+        # future=1000: level2 cost 40+1000 < level1 10+2000
+        assert model.recompilation_level("hot", 0, future_calls=1000) == 2
+
+    def test_estimated_future_calls_unit_conversion(self, instance):
+        model = honest(instance)
+        # 10 samples at period 4.0 = 40 time units inside the method;
+        # believed exec at level 0 is 8.0 → ~5 future invocations.
+        assert model.estimated_future_calls("hot", 0, 10, 4.0) == pytest.approx(5.0)
+
+    def test_estimated_future_calls_zero_samples(self, instance):
+        model = honest(instance)
+        assert model.estimated_future_calls("hot", 0, 0, 4.0) == 0.0

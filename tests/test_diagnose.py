@@ -1,0 +1,90 @@
+"""Tests for the make-span gap diagnosis tool."""
+
+import pytest
+
+from repro.analysis.diagnose import diagnose
+from repro.core import Schedule, iar_schedule, lower_bound, simulate
+from repro.core.schedule import ScheduleError
+from repro.core.single_level import base_level_schedule
+
+
+class TestDecomposition:
+    def test_exact_decomposition(self, fig2_instance):
+        sched = Schedule.of(("f0", 0), ("f1", 1), ("f2", 0))
+        result = diagnose(fig2_instance, sched)
+        assert result.makespan == pytest.approx(
+            result.lower_bound
+            + result.bubbles
+            + result.excess_before_upgrade
+            + result.excess_never_upgraded
+        )
+
+    def test_decomposition_on_synthetic(self, small_synthetic):
+        for sched in (
+            iar_schedule(small_synthetic),
+            base_level_schedule(small_synthetic),
+        ):
+            d = diagnose(small_synthetic, sched)
+            assert d.makespan == pytest.approx(
+                d.lower_bound
+                + d.bubbles
+                + d.excess_before_upgrade
+                + d.excess_never_upgraded
+            )
+
+    def test_base_level_gap_is_all_policy(self, small_synthetic):
+        """base-level never upgrades: its level excess must be entirely
+        'never_upgraded'."""
+        d = diagnose(small_synthetic, base_level_schedule(small_synthetic))
+        assert d.excess_before_upgrade == 0.0
+        assert d.excess_never_upgraded > 0.0
+
+    def test_matches_simulate(self, fig2_instance):
+        sched = Schedule.of(("f0", 0), ("f1", 0), ("f2", 0), ("f1", 1))
+        d = diagnose(fig2_instance, sched)
+        sim = simulate(fig2_instance, sched)
+        assert d.makespan == sim.makespan
+        assert d.bubbles == sim.total_bubble_time
+        assert d.lower_bound == lower_bound(fig2_instance)
+
+
+class TestPerFunction:
+    def test_per_function_sums_to_totals(self, small_synthetic):
+        d = diagnose(small_synthetic, base_level_schedule(small_synthetic))
+        assert sum(g.bubbles for g in d.per_function) == pytest.approx(d.bubbles)
+        assert sum(g.excess_never_upgraded for g in d.per_function) == pytest.approx(
+            d.excess_never_upgraded
+        )
+
+    def test_sorted_worst_first(self, small_synthetic):
+        d = diagnose(small_synthetic, base_level_schedule(small_synthetic))
+        totals = [g.total for g in d.per_function]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_top_offenders_and_rows(self, small_synthetic):
+        d = diagnose(small_synthetic, base_level_schedule(small_synthetic))
+        top = d.top_offenders(3)
+        assert len(top) == 3
+        rows = d.rows(3)
+        assert len(rows) == 3
+        assert 0 <= rows[0]["share_of_gap"] <= 1.0 + 1e-9
+
+    def test_before_upgrade_detected(self, fig2_instance):
+        # s3 on fig2: f1's 1st call runs at level 0 while C1(f1) is
+        # scheduled — timing excess, not policy.
+        sched = Schedule.of(("f0", 0), ("f1", 0), ("f2", 0), ("f1", 1))
+        d = diagnose(fig2_instance, sched)
+        f1 = next(g for g in d.per_function if g.function == "f1")
+        assert f1.excess_before_upgrade > 0.0
+        f2 = next(g for g in d.per_function if g.function == "f2")
+        assert f2.excess_never_upgraded > 0.0
+
+    def test_normalized_and_gap(self, fig2_instance):
+        sched = Schedule.of(("f0", 0), ("f1", 0), ("f2", 0))
+        d = diagnose(fig2_instance, sched)
+        assert d.gap == pytest.approx(d.makespan - d.lower_bound)
+        assert d.normalized == pytest.approx(d.makespan / d.lower_bound)
+
+    def test_invalid_schedule_rejected(self, fig2_instance):
+        with pytest.raises(ScheduleError):
+            diagnose(fig2_instance, Schedule.of(("f0", 0)))

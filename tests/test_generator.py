@@ -1,0 +1,80 @@
+"""Tests for the random program generator."""
+
+import pytest
+
+from repro.core import iar_schedule, lower_bound, simulate
+from repro.jitsim import Interpreter, ProgramSpec, extract_instance, random_program
+
+
+class TestProgramSpec:
+    def test_defaults_valid(self):
+        ProgramSpec()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_leaves": 0},
+            {"num_drivers": 0},
+            {"max_leaf_rounds": 0},
+            {"max_trip_count": 0},
+            {"max_calls_per_driver": 0},
+            {"phases": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ProgramSpec(**kwargs)
+
+
+class TestRandomProgram:
+    def test_deterministic(self):
+        a = random_program(seed=5)
+        b = random_program(seed=5)
+        assert set(a.functions) == set(b.functions)
+        for name in a.functions:
+            assert a.functions[name].code == b.functions[name].code
+
+    def test_seed_changes_program(self):
+        a = random_program(seed=5)
+        b = random_program(seed=6)
+        codes_a = [a.functions[n].code for n in sorted(a.functions)]
+        codes_b = [b.functions[n].code for n in sorted(b.functions)]
+        assert codes_a != codes_b
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_terminates_and_runs(self, seed):
+        program = random_program(seed=seed)
+        trace = Interpreter(program, max_steps=5_000_000).run()
+        assert trace.total_instructions > 0
+        assert trace.call_sequence[0] == "main"
+
+    def test_shape_parameters_respected(self):
+        spec = ProgramSpec(num_leaves=6, num_drivers=4, phases=3)
+        program = random_program(spec, seed=1)
+        names = set(program.functions)
+        assert sum(1 for n in names if n.startswith("leaf")) == 6
+        assert sum(1 for n in names if n.startswith("driver")) == 4
+
+    def test_phases_rotate_drivers(self):
+        spec = ProgramSpec(num_drivers=3, phases=4)
+        program = random_program(spec, seed=2)
+        main = program.functions["main"]
+        assert len(main.call_targets()) == 4
+
+    def test_end_to_end_scheduling(self):
+        spec = ProgramSpec(num_leaves=5, num_drivers=3, max_trip_count=200, phases=3)
+        inst = extract_instance(random_program(spec, seed=3), name="random")
+        sched = iar_schedule(inst)
+        sched.validate(inst)
+        span = simulate(inst, sched, validate=False).makespan
+        assert span >= lower_bound(inst)
+
+    def test_work_is_bounded(self):
+        # Even a large spec stays within a modest step budget.
+        spec = ProgramSpec(
+            num_leaves=8, num_drivers=6, max_trip_count=100,
+            max_calls_per_driver=4, phases=5,
+        )
+        program = random_program(spec, seed=4)
+        trace = Interpreter(program, max_steps=2_000_000).run()
+        assert trace.total_instructions < 2_000_000

@@ -1,0 +1,170 @@
+"""Tests for the mini-JIT inliner."""
+
+import pytest
+
+from repro.jitsim import (
+    Interpreter,
+    Program,
+    assemble,
+    extract_instance,
+    fib_program,
+    loops_program,
+    phased_program,
+)
+from repro.jitsim.inlining import inline_function, inline_program, is_inlinable
+
+
+def square_program():
+    square = assemble(
+        "square", 1, 1, "LOAD 0\nLOAD 0\nMUL\nRET"
+    )
+    main = assemble(
+        "main",
+        1,
+        2,
+        """
+            LOAD 0
+            CALL square
+            STORE 1
+            LOAD 1
+            PUSH 1
+            ADD
+            CALL square
+            RET
+        """,
+    )
+    return Program.from_functions([main, square], entry="main")
+
+
+class TestIsInlinable:
+    def test_small_leaf(self):
+        func = assemble("f", 1, 1, "LOAD 0\nRET")
+        assert is_inlinable(func)
+
+    def test_too_big(self):
+        func = assemble("f", 1, 1, "LOAD 0\nRET")
+        assert not is_inlinable(func, max_size=1)
+
+    def test_non_leaf(self):
+        g = assemble("g", 0, 0, "CALL h\nRET")
+        assert not is_inlinable(g)
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("arg", [0, 3, 7])
+    def test_square_program(self, arg):
+        original = square_program()
+        inlined = inline_program(original)
+        a = Interpreter(original).run(arg)
+        b = Interpreter(inlined).run(arg)
+        assert a.result == b.result
+
+    def test_loops_program(self):
+        original = loops_program(hot_calls=30, warm_calls=5)
+        inlined = inline_program(original)
+        assert (
+            Interpreter(original).run().result
+            == Interpreter(inlined).run().result
+        )
+
+    def test_phased_program(self):
+        original = phased_program(phase_calls=20)
+        inlined = inline_program(original)
+        assert (
+            Interpreter(original).run().result
+            == Interpreter(inlined).run().result
+        )
+
+    def test_fib_program_recursion_not_inlined(self):
+        # fib calls itself: not a leaf, must survive untouched.
+        original = fib_program()
+        inlined = inline_program(original)
+        assert inlined.functions["fib"].code == original.functions["fib"].code
+        assert (
+            Interpreter(original).run(10).result
+            == Interpreter(inlined).run(10).result
+        )
+
+    def test_two_rounds(self):
+        # After round 1 inlines `leaf` into `mid`, `mid` becomes a leaf
+        # and round 2 can inline it into main.
+        leaf = assemble("leaf", 1, 1, "LOAD 0\nPUSH 2\nMUL\nRET")
+        mid = assemble("mid", 1, 1, "LOAD 0\nCALL leaf\nPUSH 1\nADD\nRET")
+        main = assemble("main", 1, 1, "LOAD 0\nCALL mid\nRET")
+        program = Program.from_functions([main, mid, leaf], entry="main")
+        once = inline_program(program, rounds=1)
+        twice = inline_program(program, rounds=2)
+        assert Interpreter(twice).run(5).result == 11
+        assert not twice.functions["main"].call_targets()
+        assert once.functions["main"].call_targets() == ["mid"]
+
+
+class TestTraceEffects:
+    def test_inlining_shrinks_call_sequence(self):
+        original = loops_program(hot_calls=100, warm_calls=10)
+        inlined = inline_program(original)
+        trace_orig = Interpreter(original).run()
+        trace_inl = Interpreter(inlined).run()
+        assert len(trace_inl.invocations) < len(trace_orig.invocations)
+        # hot_leaf disappears from the sequence entirely.
+        assert "hot_leaf" not in trace_inl.call_sequence
+
+    def test_caller_grows(self):
+        original = loops_program()
+        inlined = inline_program(original)
+        assert (
+            inlined.functions["hot_loop"].size
+            > original.functions["hot_loop"].size
+        )
+
+    def test_instance_extraction_after_inlining(self):
+        inlined = inline_program(loops_program(hot_calls=100, warm_calls=10))
+        inst = extract_instance(inlined, name="inlined")
+        assert inst.num_calls > 0
+        assert "hot_leaf" not in inst.called_functions
+
+    def test_bad_rounds(self):
+        with pytest.raises(ValueError):
+            inline_program(square_program(), rounds=0)
+
+
+class TestJumpFixups:
+    def test_backward_jumps_survive(self):
+        # A loop around an inlinable call: back edges must be repointed.
+        leaf = assemble("leaf", 1, 1, "LOAD 0\nPUSH 1\nADD\nRET")
+        main = assemble(
+            "main",
+            1,
+            2,
+            """
+                PUSH 0
+                STORE 1
+            loop:
+                LOAD 0
+                JZ done
+                LOAD 1
+                CALL leaf
+                STORE 1
+                LOAD 0
+                PUSH 1
+                SUB
+                STORE 0
+                JMP loop
+            done:
+                LOAD 1
+                RET
+            """,
+        )
+        program = Program.from_functions([main, leaf], entry="main")
+        inlined = inline_program(program)
+        for n in (0, 1, 5):
+            assert (
+                Interpreter(inlined).run(n).result
+                == Interpreter(program).run(n).result
+            )
+
+    def test_multiple_sites_in_one_caller(self):
+        inlined = inline_program(square_program())
+        main = inlined.functions["main"]
+        assert not main.call_targets()
+        assert Interpreter(inlined).run(3).result == 100  # (3^2+1)^2

@@ -1,0 +1,72 @@
+"""End-to-end integration: mini VM → trace → schedulers → simulator."""
+
+import pytest
+
+from repro.analysis.experiments import scheme_comparison
+from repro.core import iar_schedule, lower_bound, simulate
+from repro.core.single_level import base_level_schedule
+from repro.jitsim import extract_instance, fib_program, loops_program, phased_program
+from repro.vm.jikes import run_jikes
+from repro.vm.v8 import run_v8
+from repro.workloads import traces
+
+
+@pytest.fixture(scope="module")
+def loops_instance():
+    return extract_instance(loops_program(hot_calls=400, warm_calls=30), name="loops")
+
+
+class TestMiniVMPipeline:
+    def test_all_schedulers_produce_valid_schedules(self, loops_instance):
+        inst = loops_instance
+        iar_schedule(inst).validate(inst)
+        base_level_schedule(inst).validate(inst)
+        run_jikes(inst).schedule.validate(inst)
+        run_v8(inst).schedule.validate(inst)
+
+    def test_iar_beats_base_level_on_hot_workload(self, loops_instance):
+        inst = loops_instance
+        iar_span = simulate(inst, iar_schedule(inst), validate=False).makespan
+        base_span = simulate(
+            inst, base_level_schedule(inst), validate=False
+        ).makespan
+        assert iar_span <= base_span
+
+    def test_reactive_runtimes_bounded_by_lower_bound(self, loops_instance):
+        inst = loops_instance
+        lb = lower_bound(inst)
+        assert run_jikes(inst).makespan >= lb
+        assert run_v8(inst).makespan >= lb
+
+    def test_scheme_comparison_on_minivm_trace(self, loops_instance):
+        row = scheme_comparison(loops_instance)
+        assert row["iar"] >= 1.0
+        assert row["default"] >= row["iar"] - 0.25  # sanity, not a theorem
+
+    def test_phased_program_rewards_scheduling(self):
+        """In the phased workload, beta's first compile competes with
+        alpha's recompilation — exactly the ordering problem the paper
+        studies.  IAR must not lose to the naive all-low schedule."""
+        inst = extract_instance(phased_program(phase_calls=300), name="phased")
+        iar_span = simulate(inst, iar_schedule(inst), validate=False).makespan
+        base_span = simulate(
+            inst, base_level_schedule(inst), validate=False
+        ).makespan
+        assert iar_span <= base_span
+
+    def test_trace_roundtrip_preserves_makespans(self, tmp_path, loops_instance):
+        inst = loops_instance
+        path = tmp_path / "loops.json"
+        traces.save(inst, path)
+        back = traces.load(path)
+        sched = iar_schedule(inst)
+        assert simulate(back, sched, validate=False).makespan == pytest.approx(
+            simulate(inst, sched, validate=False).makespan
+        )
+
+    def test_fib_trace_is_hot_single_function(self):
+        # fib(18) makes ~8k invocations — hot enough that recompiling
+        # pays for itself under the simulated compiler's cost model.
+        inst = extract_instance(fib_program(), 18, name="fib")
+        sched = iar_schedule(inst)
+        assert (sched.highest_level_of("fib") or 0) > 0

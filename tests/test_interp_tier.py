@@ -1,0 +1,94 @@
+"""Tests for interpreter-tier support (Section 8)."""
+
+import pytest
+
+from repro.core import (
+    Schedule,
+    iar_schedule,
+    interpreter_prelude,
+    lift_schedule,
+    simulate,
+    with_interpreter_tier,
+)
+from repro.core.single_level import base_level_schedule
+
+
+class TestWithInterpreterTier:
+    def test_adds_free_level(self, fig1_instance):
+        tiered = with_interpreter_tier(fig1_instance, slowdown=4.0)
+        prof = tiered.profiles["f1"]
+        assert prof.num_levels == 3
+        assert prof.compile_times[0] == 0.0
+        assert prof.exec_times[0] == 12.0  # 3.0 * 4
+
+    def test_preserves_calls(self, fig1_instance):
+        tiered = with_interpreter_tier(fig1_instance)
+        assert tiered.calls == fig1_instance.calls
+
+    def test_rejects_speedy_interpreter(self, fig1_instance):
+        with pytest.raises(ValueError):
+            with_interpreter_tier(fig1_instance, slowdown=0.5)
+
+    def test_slowdown_one_allowed(self, fig1_instance):
+        tiered = with_interpreter_tier(fig1_instance, slowdown=1.0)
+        prof = tiered.profiles["f0"]
+        assert prof.exec_times[0] == prof.exec_times[1]
+
+
+class TestPrelude:
+    def test_covers_all_called_functions(self, fig2_instance):
+        tiered = with_interpreter_tier(fig2_instance)
+        prelude = interpreter_prelude(tiered)
+        assert sorted(t.function for t in prelude) == sorted(
+            tiered.called_functions
+        )
+        assert all(t.level == 0 for t in prelude)
+
+    def test_rejects_untied_instance(self, fig2_instance):
+        with pytest.raises(ValueError, match="non-zero"):
+            interpreter_prelude(fig2_instance)
+
+    def test_no_bubbles_ever(self, fig2_instance, small_synthetic):
+        """With the prelude, every function is runnable at t=0, so no
+        schedule has bubbles and makespan == total execution time."""
+        for inst in (fig2_instance, small_synthetic):
+            tiered = with_interpreter_tier(inst)
+            for base in (
+                interpreter_prelude(tiered),
+                lift_schedule(tiered, base_level_schedule(inst)),
+                lift_schedule(tiered, iar_schedule(inst)),
+            ):
+                result = simulate(tiered, base, validate=False)
+                assert result.total_bubble_time == 0.0
+                assert result.makespan == pytest.approx(result.total_exec_time)
+
+
+class TestLiftSchedule:
+    def test_levels_shift(self, fig1_instance):
+        tiered = with_interpreter_tier(fig1_instance)
+        original = Schedule.of(("f0", 0), ("f1", 0), ("f2", 0), ("f1", 1))
+        lifted = lift_schedule(tiered, original)
+        lifted.validate(tiered)
+        shifted = lifted.tasks[len(tiered.called_functions):]
+        assert [(t.function, t.level) for t in shifted] == [
+            ("f0", 1), ("f1", 1), ("f2", 1), ("f1", 2),
+        ]
+
+    def test_lifted_never_slower_than_compiled_only_plus_waits(self, fig2_instance):
+        """Interpretation removes the initial compile waits; with
+        instant fallbacks the make-span must not exceed (compiled-only
+        make-span) + (interpreted slowdown on early calls).  We check
+        the weaker, exact property: lifted IAR >= the tiered optimum's
+        bound and has zero bubbles."""
+        tiered = with_interpreter_tier(fig2_instance, slowdown=2.0)
+        lifted = lift_schedule(tiered, iar_schedule(fig2_instance))
+        result = simulate(tiered, lifted, validate=False)
+        assert result.total_bubble_time == 0.0
+
+    def test_iar_directly_on_tiered_instance(self, small_synthetic):
+        """IAR must handle a zero-compile-time level gracefully."""
+        tiered = with_interpreter_tier(small_synthetic)
+        sched = iar_schedule(tiered)
+        sched.validate(tiered)
+        result = simulate(tiered, sched, validate=False)
+        assert result.makespan > 0

@@ -1,0 +1,148 @@
+"""Tests for the mini-VM bytecode and assembler."""
+
+import pytest
+
+from repro.jitsim import BytecodeError, BytecodeFunction, Instr, Program, assemble
+
+
+class TestInstr:
+    def test_valid(self):
+        Instr("PUSH", 3)
+        Instr("ADD")
+        Instr("CALL", "foo")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(BytecodeError, match="unknown opcode"):
+            Instr("FLY", 1)
+
+    def test_missing_int_arg(self):
+        with pytest.raises(BytecodeError, match="int argument"):
+            Instr("PUSH")
+
+    def test_wrong_arg_type(self):
+        with pytest.raises(BytecodeError, match="int argument"):
+            Instr("LOAD", "x")
+
+    def test_call_needs_name(self):
+        with pytest.raises(BytecodeError, match="function name"):
+            Instr("CALL", 3)
+
+    def test_no_arg_opcodes_reject_args(self):
+        with pytest.raises(BytecodeError, match="no argument"):
+            Instr("ADD", 1)
+
+    def test_str(self):
+        assert str(Instr("PUSH", 3)) == "PUSH 3"
+        assert str(Instr("ADD")) == "ADD"
+
+
+class TestBytecodeFunction:
+    def _ret(self):
+        return (Instr("PUSH", 0), Instr("RET"))
+
+    def test_valid(self):
+        BytecodeFunction("f", 0, 0, self._ret())
+
+    def test_locals_must_cover_params(self):
+        with pytest.raises(BytecodeError, match="num_locals"):
+            BytecodeFunction("f", 2, 1, self._ret())
+
+    def test_empty_code_rejected(self):
+        with pytest.raises(BytecodeError, match="empty"):
+            BytecodeFunction("f", 0, 0, ())
+
+    def test_missing_ret_rejected(self):
+        with pytest.raises(BytecodeError, match="RET"):
+            BytecodeFunction("f", 0, 0, (Instr("PUSH", 1),))
+
+    def test_jump_target_bounds(self):
+        with pytest.raises(BytecodeError, match="jump target"):
+            BytecodeFunction("f", 0, 0, (Instr("JMP", 5), Instr("RET")))
+
+    def test_local_slot_bounds(self):
+        with pytest.raises(BytecodeError, match="local slot"):
+            BytecodeFunction("f", 0, 1, (Instr("LOAD", 3), Instr("RET")))
+
+    def test_back_edge_count(self):
+        func = BytecodeFunction(
+            "f",
+            0,
+            0,
+            (
+                Instr("PUSH", 1),
+                Instr("JZ", 3),
+                Instr("JMP", 0),  # backward
+                Instr("PUSH", 0),
+                Instr("RET"),
+            ),
+        )
+        assert func.back_edge_count() == 1
+
+    def test_call_targets(self):
+        func = BytecodeFunction(
+            "f", 0, 0, (Instr("CALL", "g"), Instr("RET"))
+        )
+        assert func.call_targets() == ["g"]
+
+    def test_size(self):
+        func = BytecodeFunction("f", 0, 0, self._ret())
+        assert func.size == 2
+
+
+class TestProgram:
+    def test_undefined_entry(self):
+        f = BytecodeFunction("f", 0, 0, (Instr("PUSH", 0), Instr("RET")))
+        with pytest.raises(BytecodeError, match="entry"):
+            Program.from_functions([f], entry="main")
+
+    def test_undefined_callee(self):
+        f = BytecodeFunction("f", 0, 0, (Instr("CALL", "g"), Instr("RET")))
+        with pytest.raises(BytecodeError, match="undefined function"):
+            Program.from_functions([f], entry="f")
+
+    def test_duplicate_names(self):
+        f1 = BytecodeFunction("f", 0, 0, (Instr("PUSH", 0), Instr("RET")))
+        f2 = BytecodeFunction("f", 0, 0, (Instr("PUSH", 1), Instr("RET")))
+        with pytest.raises(BytecodeError, match="duplicate"):
+            Program.from_functions([f1, f2], entry="f")
+
+
+class TestAssembler:
+    def test_basic(self):
+        func = assemble("f", 0, 1, "PUSH 42\nSTORE 0\nLOAD 0\nRET")
+        assert func.size == 4
+        assert func.code[0] == Instr("PUSH", 42)
+
+    def test_labels_resolve(self):
+        func = assemble(
+            "f",
+            0,
+            0,
+            """
+            start:
+                PUSH 1
+                JZ end
+                JMP start
+            end:
+                PUSH 0
+                RET
+            """,
+        )
+        assert func.code[1] == Instr("JZ", 3)
+        assert func.code[2] == Instr("JMP", 0)
+
+    def test_comments_and_blank_lines(self):
+        func = assemble("f", 0, 0, "# header\n\nPUSH 1  # inline\nRET\n")
+        assert func.size == 2
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(BytecodeError, match="duplicate"):
+            assemble("f", 0, 0, "x:\nx:\nPUSH 0\nRET")
+
+    def test_bad_int_arg(self):
+        with pytest.raises(BytecodeError, match="bad argument"):
+            assemble("f", 0, 0, "PUSH abc\nRET")
+
+    def test_unknown_label_is_bad_argument(self):
+        with pytest.raises(BytecodeError):
+            assemble("f", 0, 0, "JMP nowhere\nPUSH 0\nRET")

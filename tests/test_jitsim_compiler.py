@@ -1,0 +1,144 @@
+"""Tests for the simulated multi-level compiler and profile extraction."""
+
+import pytest
+
+from repro.core import lower_bound, simulate
+from repro.core.iar import iar_schedule
+from repro.jitsim import (
+    CompilerConfig,
+    SimulatedCompiler,
+    assemble,
+    extract_instance,
+    fib_program,
+    loops_program,
+    trace_to_instance,
+    Interpreter,
+)
+
+
+def straightline(rounds=4):
+    return assemble(
+        "s", 1, 1,
+        "\n".join("LOAD 0\nPUSH 1\nADD\nSTORE 0" for _ in range(rounds))
+        + "\nLOAD 0\nRET",
+    )
+
+
+def looped():
+    return assemble(
+        "l", 1, 1,
+        """
+        top:
+            LOAD 0
+            JZ out
+            LOAD 0
+            PUSH 1
+            SUB
+            STORE 0
+            JMP top
+        out:
+            PUSH 0
+            RET
+        """,
+    )
+
+
+class TestCompilerConfig:
+    def test_default_levels(self):
+        assert CompilerConfig().num_levels == 4
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerConfig(per_instr_us=(1.0,), fixed_us=(1.0, 2.0))
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerConfig(
+                per_instr_us=(-1.0,), fixed_us=(1.0,), tier_speedups=(2.0,)
+            )
+
+    def test_zero_speedup_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerConfig(
+                per_instr_us=(1.0,), fixed_us=(1.0,), tier_speedups=(0.0,)
+            )
+
+
+class TestSimulatedCompiler:
+    def test_compile_time_grows_with_size_and_level(self):
+        comp = SimulatedCompiler()
+        small, large = straightline(2), straightline(8)
+        assert comp.compile_time(large, 0) > comp.compile_time(small, 0)
+        for level in range(1, 4):
+            assert comp.compile_time(small, level) > comp.compile_time(
+                small, level - 1
+            )
+
+    def test_speedup_monotone_in_level(self):
+        comp = SimulatedCompiler()
+        func = straightline()
+        speedups = [comp.speedup(func, lvl) for lvl in range(4)]
+        assert speedups == sorted(speedups)
+
+    def test_loop_bonus_at_optimizing_levels(self):
+        comp = SimulatedCompiler()
+        loop, line = looped(), straightline()
+        # Level 0/1 have no loop bonus; levels >= 2 reward back edges.
+        ratio_low = comp.speedup(loop, 1) / comp.speedup(line, 1)
+        ratio_high = comp.speedup(loop, 2) / comp.speedup(line, 2)
+        assert ratio_high > ratio_low
+
+    def test_profile_satisfies_definition1(self):
+        comp = SimulatedCompiler()
+        prof = comp.profile(looped(), mean_instructions=100.0)
+        # FunctionProfile validates monotonicity at construction.
+        assert prof.num_levels == 4
+        assert prof.exec_times[0] > prof.exec_times[-1]
+
+    def test_exec_time_scales_with_dynamic_work(self):
+        comp = SimulatedCompiler()
+        func = straightline()
+        assert comp.exec_time(func, 0, 1000.0) == pytest.approx(
+            10 * comp.exec_time(func, 0, 100.0)
+        )
+
+
+class TestExtraction:
+    def test_extract_instance_end_to_end(self):
+        inst = extract_instance(fib_program(), 10)
+        assert inst.call_count("fib") > 100
+        assert inst.profiles["fib"].num_levels == 4
+        sched = iar_schedule(inst)
+        result = simulate(inst, sched, validate=False)
+        assert result.makespan >= lower_bound(inst)
+
+    def test_trace_to_instance_uses_mean_instructions(self):
+        program = fib_program()
+        trace = Interpreter(program).run(8)
+        inst = trace_to_instance(program, trace)
+        means = trace.mean_instructions()
+        comp = SimulatedCompiler()
+        assert inst.profiles["fib"].exec_times[0] == pytest.approx(
+            comp.exec_time(program.functions["fib"], 0, means["fib"])
+        )
+
+    def test_custom_config(self):
+        config = CompilerConfig(
+            per_instr_us=(1.0, 5.0),
+            fixed_us=(10.0, 100.0),
+            tier_speedups=(2.0, 6.0),
+        )
+        inst = extract_instance(loops_program(), config=config)
+        assert inst.profiles["hot_leaf"].num_levels == 2
+
+    def test_instance_name(self):
+        inst = extract_instance(fib_program(), 5, name="fib5")
+        assert inst.name == "fib5"
+        assert extract_instance(fib_program(), 5).name == "main"
+
+    def test_scheduling_on_phased_program(self):
+        from repro.jitsim import phased_program
+
+        inst = extract_instance(phased_program(phase_calls=100))
+        sched = iar_schedule(inst)
+        sched.validate(inst)

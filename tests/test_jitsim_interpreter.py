@@ -1,0 +1,161 @@
+"""Tests for the mini-VM interpreter."""
+
+import pytest
+
+from repro.jitsim import (
+    Interpreter,
+    Program,
+    VMError,
+    assemble,
+    fib_program,
+    loops_program,
+    phased_program,
+)
+
+
+class TestArithmetic:
+    def _run(self, source, *args, num_params=0, num_locals=1):
+        func = assemble("main", num_params, num_locals, source)
+        program = Program.from_functions([func], entry="main")
+        return Interpreter(program).run(*args)
+
+    def test_constants_and_add(self):
+        assert self._run("PUSH 2\nPUSH 3\nADD\nRET").result == 5
+
+    def test_sub_mul(self):
+        assert self._run("PUSH 7\nPUSH 3\nSUB\nPUSH 2\nMUL\nRET").result == 8
+
+    def test_div_mod(self):
+        assert self._run("PUSH 17\nPUSH 5\nDIV\nRET").result == 3
+        assert self._run("PUSH 17\nPUSH 5\nMOD\nRET").result == 2
+
+    def test_neg_dup_pop(self):
+        assert self._run("PUSH 3\nNEG\nRET").result == -3
+        assert self._run("PUSH 3\nDUP\nADD\nRET").result == 6
+        assert self._run("PUSH 9\nPUSH 3\nPOP\nRET").result == 9
+
+    def test_comparisons(self):
+        assert self._run("PUSH 1\nPUSH 2\nLT\nRET").result == 1
+        assert self._run("PUSH 2\nPUSH 2\nLT\nRET").result == 0
+        assert self._run("PUSH 2\nPUSH 2\nLE\nRET").result == 1
+        assert self._run("PUSH 2\nPUSH 2\nEQ\nRET").result == 1
+
+    def test_locals(self):
+        assert (
+            self._run("PUSH 5\nSTORE 0\nLOAD 0\nLOAD 0\nMUL\nRET").result == 25
+        )
+
+    def test_params(self):
+        func = assemble("main", 2, 2, "LOAD 0\nLOAD 1\nSUB\nRET")
+        program = Program.from_functions([func], entry="main")
+        assert Interpreter(program).run(10, 4).result == 6
+
+    def test_loop_sum(self):
+        # sum 1..5 via countdown
+        source = """
+            PUSH 0
+            STORE 1
+        loop:
+            LOAD 0
+            JZ done
+            LOAD 1
+            LOAD 0
+            ADD
+            STORE 1
+            LOAD 0
+            PUSH 1
+            SUB
+            STORE 0
+            JMP loop
+        done:
+            LOAD 1
+            RET
+        """
+        func = assemble("main", 1, 2, source)
+        program = Program.from_functions([func], entry="main")
+        assert Interpreter(program).run(5).result == 15
+
+
+class TestErrors:
+    def _program(self, source, num_params=0, num_locals=1):
+        func = assemble("main", num_params, num_locals, source)
+        return Program.from_functions([func], entry="main")
+
+    def test_division_by_zero(self):
+        with pytest.raises(VMError, match="division by zero"):
+            Interpreter(self._program("PUSH 1\nPUSH 0\nDIV\nRET")).run()
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(VMError, match="modulo by zero"):
+            Interpreter(self._program("PUSH 1\nPUSH 0\nMOD\nRET")).run()
+
+    def test_stack_underflow(self):
+        with pytest.raises(VMError, match="underflow"):
+            Interpreter(self._program("ADD\nRET")).run()
+
+    def test_dup_on_empty(self):
+        with pytest.raises(VMError, match="DUP"):
+            Interpreter(self._program("DUP\nRET")).run()
+
+    def test_step_budget(self):
+        prog = self._program("start:\nJMP start\nPUSH 0\nRET")
+        with pytest.raises(VMError, match="step budget"):
+            Interpreter(prog, max_steps=100).run()
+
+    def test_wrong_arity(self):
+        prog = self._program("PUSH 0\nRET")
+        with pytest.raises(TypeError):
+            Interpreter(prog).run(1, 2)
+
+
+class TestCallsAndTraces:
+    def test_fib_result(self):
+        trace = Interpreter(fib_program()).run(10)
+        assert trace.result == 55
+
+    def test_fib_trace_shape(self):
+        trace = Interpreter(fib_program()).run(5)
+        seq = trace.call_sequence
+        assert seq[0] == "main"
+        # naive fib(5) makes 15 fib invocations
+        assert seq.count("fib") == 15
+        assert len(seq) == 16
+
+    def test_per_invocation_instruction_counts(self):
+        trace = Interpreter(fib_program()).run(3)
+        means = trace.mean_instructions()
+        assert means["fib"] > 0
+        assert means["main"] > 0
+        # total = sum over invocations
+        total = sum(rec.instructions for rec in trace.invocations)
+        assert total == trace.total_instructions
+
+    def test_callee_work_not_charged_to_caller(self):
+        trace = Interpreter(fib_program()).run(8)
+        means = trace.mean_instructions()
+        # main only loads, calls, returns: few instructions despite
+        # the expensive call inside.
+        assert means["main"] < 10
+
+    def test_loops_program_hotness(self):
+        trace = Interpreter(loops_program(hot_calls=50, warm_calls=5)).run()
+        seq = trace.call_sequence
+        assert seq.count("hot_leaf") == 50
+        assert seq.count("warm_helper") == 5
+        assert seq.count("cold_init_a") == 1
+
+    def test_phased_program_disjoint_phases(self):
+        trace = Interpreter(phased_program(phase_calls=10)).run()
+        seq = list(trace.call_sequence)
+        assert seq.count("alpha") == 10
+        assert seq.count("beta") == 10
+        # every alpha call precedes every beta call
+        assert max(i for i, f in enumerate(seq) if f == "alpha") < min(
+            i for i, f in enumerate(seq) if f == "beta"
+        )
+
+    def test_determinism(self):
+        a = Interpreter(loops_program()).run()
+        b = Interpreter(loops_program()).run()
+        assert a.call_sequence == b.call_sequence
+        assert a.total_instructions == b.total_instructions

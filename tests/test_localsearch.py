@@ -1,0 +1,84 @@
+"""Tests for the local-search schedule improver."""
+
+import pytest
+
+from repro.core import Schedule, iar_schedule, optimal_schedule, simulate
+from repro.core.localsearch import improve_schedule
+from repro.core.single_level import base_level_schedule
+
+
+class TestImproveSchedule:
+    def test_never_worse(self, small_synthetic):
+        start = base_level_schedule(small_synthetic)
+        improved, stats = improve_schedule(
+            small_synthetic, start, iterations=300, seed=1
+        )
+        assert stats.final_makespan <= stats.initial_makespan
+        assert (
+            simulate(small_synthetic, improved, validate=False).makespan
+            == pytest.approx(stats.final_makespan)
+        )
+
+    def test_result_valid(self, small_synthetic):
+        improved, _ = improve_schedule(
+            small_synthetic,
+            base_level_schedule(small_synthetic),
+            iterations=300,
+            seed=2,
+        )
+        improved.validate(small_synthetic)
+
+    def test_improves_bad_start(self, fig2_instance):
+        # Starting from a poor schedule, search must find the optimum
+        # of this tiny instance.
+        bad = Schedule.of(("f0", 0), ("f1", 1), ("f2", 1))
+        improved, stats = improve_schedule(
+            fig2_instance, bad, iterations=1500, seed=3
+        )
+        opt = optimal_schedule(fig2_instance)
+        assert stats.final_makespan == pytest.approx(opt.makespan)
+
+    def test_cannot_improve_the_optimum(self, fig2_instance):
+        opt = optimal_schedule(fig2_instance)
+        _, stats = improve_schedule(
+            fig2_instance, opt.schedule, iterations=800, seed=4
+        )
+        assert stats.final_makespan == pytest.approx(opt.makespan)
+
+    def test_deterministic(self, small_synthetic):
+        start = base_level_schedule(small_synthetic)
+        a = improve_schedule(small_synthetic, start, iterations=200, seed=9)
+        b = improve_schedule(small_synthetic, start, iterations=200, seed=9)
+        assert a[0] == b[0]
+        assert a[1] == b[1]
+
+    def test_annealing_mode(self, small_synthetic):
+        start = base_level_schedule(small_synthetic)
+        improved, stats = improve_schedule(
+            small_synthetic, start, iterations=300, seed=5, temperature=0.05
+        )
+        assert stats.final_makespan <= stats.initial_makespan
+        improved.validate(small_synthetic)
+
+    def test_bad_iterations(self, fig2_instance):
+        with pytest.raises(ValueError):
+            improve_schedule(fig2_instance, Schedule.of(("f0", 0), ("f1", 0), ("f2", 0)), iterations=0)
+
+    def test_invalid_start_rejected(self, fig2_instance):
+        from repro.core import ScheduleError
+
+        with pytest.raises(ScheduleError):
+            improve_schedule(fig2_instance, Schedule.of(("f0", 0)))
+
+    def test_stats_improvement_property(self, small_synthetic):
+        start = base_level_schedule(small_synthetic)
+        _, stats = improve_schedule(small_synthetic, start, iterations=200, seed=6)
+        assert 0.0 <= stats.improvement < 1.0
+
+    def test_iar_is_hard_to_improve(self, small_synthetic):
+        """The near-optimality probe: local search barely improves IAR."""
+        start = iar_schedule(small_synthetic)
+        _, stats = improve_schedule(
+            small_synthetic, start, iterations=600, seed=7
+        )
+        assert stats.improvement < 0.08

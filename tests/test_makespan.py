@@ -1,0 +1,190 @@
+"""Tests for the make-span simulator, anchored on the paper's Figures 1–2."""
+
+import pytest
+
+from repro.core import (
+    CompileTask,
+    Schedule,
+    ScheduleError,
+    iter_calls,
+    simulate,
+    simulate_single_core,
+)
+
+S1 = Schedule.of(("f0", 0), ("f1", 0), ("f2", 0))
+S2 = Schedule.of(("f0", 0), ("f1", 1), ("f2", 0))
+S3 = Schedule.of(("f0", 0), ("f1", 0), ("f2", 0), ("f1", 1))
+
+
+class TestFigure1:
+    """Exact make-spans of the three schemes in Figure 1."""
+
+    def test_scheme_s1_all_low(self, fig1_instance):
+        assert simulate(fig1_instance, S1).makespan == 11.0
+
+    def test_scheme_s2_f1_high_only(self, fig1_instance):
+        assert simulate(fig1_instance, S2).makespan == 12.0
+
+    def test_scheme_s3_f1_recompiled(self, fig1_instance):
+        assert simulate(fig1_instance, S3).makespan == 10.0
+
+    def test_s3_is_best_of_three(self, fig1_instance):
+        spans = [simulate(fig1_instance, s).makespan for s in (S1, S2, S3)]
+        assert min(spans) == spans[2]
+
+    def test_s2_bubble_waiting_for_high_compile(self, fig1_instance):
+        # f0 waits for its own compile [0,1] (bubble 1) and f1's first
+        # call is ready at t=2 but c11 finishes at t=5 (bubble 3).
+        result = simulate(fig1_instance, S2)
+        assert result.total_bubble_time == 4.0
+
+
+class TestFigure2:
+    """Appending a call to f2 flips the ranking (Figure 2)."""
+
+    def _extended(self, schedule):
+        return Schedule(schedule.tasks + (CompileTask("f2", 1),))
+
+    def test_s1_extended_becomes_best(self, fig2_instance):
+        assert simulate(fig2_instance, self._extended(S1)).makespan == 12.0
+
+    def test_s2_extended(self, fig2_instance):
+        assert simulate(fig2_instance, self._extended(S2)).makespan == 13.0
+
+    def test_s3_without_extension(self, fig2_instance):
+        assert simulate(fig2_instance, S3).makespan == 13.0
+
+    def test_s3_extension_not_beneficial(self, fig2_instance):
+        # The paper notes appending c21 to s3 is "apparently not
+        # beneficial": the make-span stays 13.
+        assert simulate(fig2_instance, self._extended(S3)).makespan == 13.0
+
+    def test_previously_best_is_now_worst(self, fig2_instance):
+        spans = {
+            "s1x": simulate(fig2_instance, self._extended(S1)).makespan,
+            "s2x": simulate(fig2_instance, self._extended(S2)).makespan,
+            "s3": simulate(fig2_instance, S3).makespan,
+        }
+        assert spans["s1x"] == min(spans.values())
+        assert spans["s3"] == max(spans.values())
+
+
+class TestSimulationMechanics:
+    def test_calls_at_level_histogram(self, fig1_instance):
+        result = simulate(fig1_instance, S3)
+        assert result.calls_at_level == {0: 3, 1: 1}
+
+    def test_total_exec_plus_bubbles_equals_makespan(self, fig1_instance):
+        for sched in (S1, S2, S3):
+            result = simulate(fig1_instance, sched)
+            assert result.total_exec_time + result.total_bubble_time == pytest.approx(
+                result.makespan
+            )
+
+    def test_compile_end_reported(self, fig1_instance):
+        result = simulate(fig1_instance, S3)
+        assert result.compile_end == 7.0  # 1+1+1+4
+
+    def test_timeline_recording(self, fig1_instance):
+        result = simulate(fig1_instance, S3, record_timeline=True)
+        assert len(result.task_timings) == 4
+        assert len(result.call_timings) == 4
+        first = result.call_timings[0]
+        assert first.function == "f0"
+        assert first.start == 1.0 and first.finish == 2.0 and first.bubble == 1.0
+        last = result.call_timings[-1]
+        assert last.level == 1  # second f1 call runs the recompiled code
+
+    def test_timeline_off_by_default(self, fig1_instance):
+        result = simulate(fig1_instance, S1)
+        assert result.task_timings is None
+        assert result.call_timings is None
+
+    def test_invalid_schedule_raises(self, fig1_instance):
+        with pytest.raises(ScheduleError):
+            simulate(fig1_instance, Schedule.of(("f0", 0)))
+
+    def test_validate_can_be_disabled_for_covering_schedules(self, fig1_instance):
+        # Skipping validation is the caller's promise; a covering
+        # schedule still simulates fine.
+        result = simulate(fig1_instance, S1, validate=False)
+        assert result.makespan == 11.0
+
+    def test_bad_thread_count(self, fig1_instance):
+        with pytest.raises(ValueError):
+            simulate(fig1_instance, S1, compile_threads=0)
+
+    def test_useless_tail_task_does_not_change_makespan(self, fig1_instance):
+        extended = Schedule(S3.tasks + (CompileTask("f2", 1),))
+        assert (
+            simulate(fig1_instance, extended).makespan
+            == simulate(fig1_instance, S3).makespan
+        )
+
+    def test_version_decided_at_call_start(self, fig2_instance):
+        # In s3 on fig2, c21 would finish at 12 while f2's 2nd call
+        # starts at 10 — the call must run the level-0 code.
+        extended = Schedule(S3.tasks + (CompileTask("f2", 1),))
+        result = simulate(fig2_instance, extended, record_timeline=True)
+        assert result.call_timings[-1].level == 0
+
+
+class TestConcurrentCompilation:
+    def test_more_threads_never_hurt(self, fig2_instance):
+        base = simulate(fig2_instance, S2).makespan
+        for k in (2, 3, 8):
+            assert simulate(fig2_instance, S2, compile_threads=k).makespan <= base
+
+    def test_two_threads_overlap_compiles(self, fig1_instance):
+        # With 2 threads, c11 (len 4) runs alongside c00/c10/c20.
+        result = simulate(fig1_instance, S2, compile_threads=2)
+        # c00 on t0 [0,1], c11 on t1 [0,4], c20 on t0 [1,2]:
+        # e00 [1,2], f1 waits until 4, e11 [4,6], e20 [6,9], e11 [9,11]
+        assert result.makespan == 11.0
+
+    def test_thread_assignment_recorded(self, fig1_instance):
+        result = simulate(
+            fig1_instance, S2, compile_threads=2, record_timeline=True
+        )
+        threads = {t.thread for t in result.task_timings}
+        assert threads == {0, 1}
+
+
+class TestIterCalls:
+    def test_matches_simulate(self, fig2_instance):
+        sched = S3
+        events = list(iter_calls(fig2_instance, sched))
+        result = simulate(fig2_instance, sched, record_timeline=True)
+        assert len(events) == len(result.call_timings)
+        for (fname, level, start, finish, bubble), timing in zip(
+            events, result.call_timings
+        ):
+            assert fname == timing.function
+            assert level == timing.level
+            assert start == timing.start
+            assert finish == timing.finish
+            assert bubble == timing.bubble
+
+    def test_lazy(self, fig2_instance):
+        gen = iter_calls(fig2_instance, S3)
+        first = next(gen)
+        assert first[0] == "f0"
+
+
+class TestSingleCore:
+    def test_sum_of_compiles_and_execs(self, fig1_instance):
+        result = simulate_single_core(fig1_instance, S1)
+        # compiles 1+1+1 + execs 1+3+3+3
+        assert result.makespan == 13.0
+        assert result.total_bubble_time == 0.0
+
+    def test_recompilation_charged_but_best_level_used(self, fig1_instance):
+        result = simulate_single_core(fig1_instance, S3)
+        # compiles 1+1+1+4; f1's two calls both at level 1 (optimal
+        # single-core interleaving compiles before first use)
+        assert result.makespan == 7.0 + (1.0 + 2.0 + 3.0 + 2.0)
+        assert result.calls_at_level == {0: 2, 1: 2}
+
+    def test_invalid_schedule_raises(self, fig1_instance):
+        with pytest.raises(ScheduleError):
+            simulate_single_core(fig1_instance, Schedule.of(("f0", 0)))

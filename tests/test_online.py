@@ -1,0 +1,120 @@
+"""Tests for the online/noisy-estimate extensions (Section 8)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    FunctionProfile,
+    estimate_instance,
+    online_iar_makespan,
+    perturb_sequence,
+    perturb_times,
+)
+
+
+class TestPerturbTimes:
+    def _profile(self):
+        return FunctionProfile("f", (1.0, 10.0, 30.0), (9.0, 3.0, 1.0))
+
+    def test_zero_error_is_identity(self):
+        prof = self._profile()
+        assert perturb_times(prof, 0.0, random.Random(0)) == prof
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            perturb_times(self._profile(), -0.1, random.Random(0))
+
+    def test_monotonicity_preserved(self):
+        for seed in range(30):
+            noisy = perturb_times(self._profile(), 1.0, random.Random(seed))
+            for j in range(1, noisy.num_levels):
+                assert noisy.compile_times[j] >= noisy.compile_times[j - 1]
+                assert noisy.exec_times[j] <= noisy.exec_times[j - 1]
+
+    def test_correlated_mode_preserves_monotonicity(self):
+        for seed in range(30):
+            noisy = perturb_times(
+                self._profile(), 1.0, random.Random(seed), correlated=True
+            )
+            for j in range(1, noisy.num_levels):
+                assert noisy.compile_times[j] >= noisy.compile_times[j - 1]
+                assert noisy.exec_times[j] <= noisy.exec_times[j - 1]
+
+    def test_deterministic_given_rng(self):
+        a = perturb_times(self._profile(), 0.5, random.Random(7))
+        b = perturb_times(self._profile(), 0.5, random.Random(7))
+        assert a == b
+
+    def test_actually_perturbs(self):
+        noisy = perturb_times(self._profile(), 0.5, random.Random(1))
+        assert noisy != self._profile()
+
+
+class TestEstimateInstance:
+    def test_same_calls(self, small_synthetic):
+        noisy = estimate_instance(small_synthetic, 0.3, seed=1)
+        assert noisy.calls == small_synthetic.calls
+
+    def test_deterministic(self, small_synthetic):
+        a = estimate_instance(small_synthetic, 0.3, seed=1)
+        b = estimate_instance(small_synthetic, 0.3, seed=1)
+        assert a.profiles == b.profiles
+
+    def test_seed_changes_result(self, small_synthetic):
+        a = estimate_instance(small_synthetic, 0.3, seed=1)
+        b = estimate_instance(small_synthetic, 0.3, seed=2)
+        assert a.profiles != b.profiles
+
+
+class TestPerturbSequence:
+    def test_zero_error_is_identity(self, small_synthetic):
+        assert (
+            perturb_sequence(small_synthetic, 0.0).calls == small_synthetic.calls
+        )
+
+    def test_bad_rate_rejected(self, small_synthetic):
+        with pytest.raises(ValueError):
+            perturb_sequence(small_synthetic, 1.5)
+
+    def test_every_function_still_predicted(self, small_synthetic):
+        noisy = perturb_sequence(small_synthetic, 0.4, seed=3)
+        assert set(noisy.called_functions) == set(small_synthetic.called_functions)
+
+    def test_changes_sequence(self, small_synthetic):
+        noisy = perturb_sequence(small_synthetic, 0.4, seed=3)
+        assert noisy.calls != small_synthetic.calls
+
+    def test_length_roughly_preserved(self, small_synthetic):
+        noisy = perturb_sequence(small_synthetic, 0.3, seed=3)
+        ratio = noisy.num_calls / small_synthetic.num_calls
+        assert 0.7 < ratio < 1.3
+
+
+class TestOnlineIAR:
+    def test_perfect_information_matches_oracle(self, small_synthetic):
+        result = online_iar_makespan(small_synthetic, 0.0, 0.0)
+        assert result.makespan == pytest.approx(result.oracle_makespan)
+        assert result.degradation == pytest.approx(1.0)
+
+    def test_noise_never_beats_bound(self, small_synthetic):
+        result = online_iar_makespan(small_synthetic, 0.5, 0.1, seed=2)
+        assert result.makespan >= result.lower_bound - 1e-9
+
+    def test_degradation_grows_with_noise_on_average(self, small_synthetic):
+        small = [
+            online_iar_makespan(small_synthetic, 0.1, 0.0, seed=s).degradation
+            for s in range(4)
+        ]
+        large = [
+            online_iar_makespan(small_synthetic, 2.0, 0.3, seed=s).degradation
+            for s in range(4)
+        ]
+        assert sum(large) / len(large) >= sum(small) / len(small) - 0.02
+
+    def test_missing_functions_fallback_compiled(self, small_synthetic):
+        # Heavy sequence noise may drop functions from the prediction;
+        # the runtime falls back to level-0 compiles so execution on
+        # the true sequence stays legal (no exception = pass).
+        result = online_iar_makespan(small_synthetic, 0.0, 0.6, seed=5)
+        assert result.makespan > 0

@@ -1,0 +1,114 @@
+"""Tests for on-stack replacement simulation."""
+
+import pytest
+
+from repro.core import FunctionProfile, OCSPInstance, Schedule, simulate
+from repro.core.osr import simulate_osr
+
+
+@pytest.fixture()
+def long_call_instance():
+    """One long invocation whose upgrade lands mid-call.
+
+    f: c=(1, 5), e=(10, 2).  Schedule C0(f), C1(f): compiles finish at
+    1 and 6.  Without OSR the single call runs [1, 11] at level 0.
+    With OSR: works at level-0 speed over [1, 6] (consuming 5/10 of the
+    work), then the remaining half continues at level 1, taking
+    0.5 * 2 = 1 → finish at 7.
+    """
+    profiles = {"f": FunctionProfile("f", (1.0, 5.0), (10.0, 2.0))}
+    return OCSPInstance(profiles, ("f",), name="osr")
+
+
+class TestHandComputed:
+    def test_without_osr(self, long_call_instance):
+        sched = Schedule.of(("f", 0), ("f", 1))
+        assert simulate(long_call_instance, sched).makespan == 11.0
+
+    def test_with_osr(self, long_call_instance):
+        sched = Schedule.of(("f", 0), ("f", 1))
+        result = simulate_osr(long_call_instance, sched)
+        assert result.makespan == pytest.approx(7.0)
+        assert result.calls_at_level == {1: 1}
+
+    def test_switch_cost_charged(self, long_call_instance):
+        sched = Schedule.of(("f", 0), ("f", 1))
+        result = simulate_osr(long_call_instance, sched, switch_cost=0.5)
+        assert result.makespan == pytest.approx(7.5)
+
+    def test_no_switch_when_upgrade_misses_the_call(self, long_call_instance):
+        # Upgrade only: the call blocks until 6 then runs at level 1.
+        sched = Schedule.of(("f", 1))
+        result = simulate_osr(long_call_instance, sched)
+        # c1 alone finishes at 5; call runs [5, 7].
+        assert result.makespan == pytest.approx(7.0)
+        assert result.total_bubble_time == pytest.approx(5.0)
+
+
+class TestInvariants:
+    def test_never_slower_than_call_start_rule(self, small_synthetic):
+        from repro.core.iar import iar_schedule
+        from repro.core.single_level import base_level_schedule
+
+        for sched in (
+            iar_schedule(small_synthetic),
+            base_level_schedule(small_synthetic),
+        ):
+            plain = simulate(small_synthetic, sched, validate=False).makespan
+            osr = simulate_osr(small_synthetic, sched, validate=False).makespan
+            assert osr <= plain + 1e-6
+
+    def test_identical_when_no_recompiles(self, small_synthetic):
+        from repro.core.single_level import base_level_schedule
+
+        sched = base_level_schedule(small_synthetic)
+        plain = simulate(small_synthetic, sched, validate=False)
+        osr = simulate_osr(small_synthetic, sched, validate=False)
+        assert osr.makespan == pytest.approx(plain.makespan)
+        assert osr.total_bubble_time == pytest.approx(plain.total_bubble_time)
+
+    def test_counts_every_call(self, small_synthetic):
+        from repro.core.iar import iar_schedule
+
+        result = simulate_osr(
+            small_synthetic, iar_schedule(small_synthetic), validate=False
+        )
+        assert sum(result.calls_at_level.values()) == small_synthetic.num_calls
+
+    def test_bad_parameters(self, long_call_instance):
+        sched = Schedule.of(("f", 0))
+        with pytest.raises(ValueError):
+            simulate_osr(long_call_instance, sched, compile_threads=0)
+        with pytest.raises(ValueError):
+            simulate_osr(long_call_instance, sched, switch_cost=-1.0)
+
+    def test_invalid_schedule_rejected(self, long_call_instance):
+        from repro.core import ScheduleError
+
+        with pytest.raises(ScheduleError):
+            simulate_osr(long_call_instance, Schedule.empty())
+
+    def test_two_switches_in_one_call(self):
+        # Three levels landing successively during one long call.
+        profiles = {"f": FunctionProfile("f", (1.0, 3.0, 6.0), (30.0, 10.0, 1.0))}
+        inst = OCSPInstance(profiles, ("f",), name="osr3")
+        sched = Schedule.of(("f", 0), ("f", 1), ("f", 2))
+        # Compiles finish at 1, 4, 10.  Work: [1,4] at e=30 → 3/30 done;
+        # [4,10] at e=10 → 6/10 done; remaining 1 - 0.1 - 0.6 = 0.3 at
+        # e=1 → finish 10.3.
+        result = simulate_osr(inst, sched)
+        assert result.makespan == pytest.approx(10.3)
+        assert result.calls_at_level == {2: 1}
+
+    def test_eager_deep_compile_less_dangerous_with_osr(self):
+        """The interpreter-runtime intuition: with OSR, scheduling the
+        deep compile eagerly hurts much less, because the blocked work
+        can run on the slow tier and upgrade in flight."""
+        profiles = {
+            "slowstart": FunctionProfile("slowstart", (1.0, 9.0), (20.0, 2.0)),
+        }
+        inst = OCSPInstance(profiles, ("slowstart",) * 3, name="eager")
+        eager = Schedule.of(("slowstart", 0), ("slowstart", 1))
+        plain = simulate(inst, eager).makespan
+        osr = simulate_osr(inst, eager).makespan
+        assert osr < plain

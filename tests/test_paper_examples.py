@@ -1,0 +1,127 @@
+"""The paper's worked examples and headline claims, as executable tests.
+
+Each test cites the paper passage it verifies.  The Figure 1/2 cost
+tables are reconstructed from the timing marks printed in the figures
+(see ``tests/conftest.py``).
+"""
+
+import pytest
+
+from repro.core import (
+    CompileTask,
+    Schedule,
+    astar_schedule,
+    iar_schedule,
+    lower_bound,
+    optimal_schedule,
+    simulate,
+)
+from repro.core.singlecore import single_core_optimal_makespan
+from repro.workloads import WorkloadSpec, generate
+
+
+class TestIntroductionExample:
+    """Section 1: call sequence "a b g g g g e g" — switching C1(e)
+    with C2(g) makes the better version of g available earlier."""
+
+    def _instance(self):
+        from repro.core import FunctionProfile, OCSPInstance
+
+        profiles = {
+            "a": FunctionProfile("a", (1.0,), (1.0,)),
+            "b": FunctionProfile("b", (1.0,), (1.0,)),
+            "e": FunctionProfile("e", (4.0,), (1.0,)),
+            "g": FunctionProfile("g", (1.0, 6.0), (3.0, 1.0)),
+        }
+        calls = ("a", "b", "g", "g", "g", "g", "e", "g")
+        return OCSPInstance(profiles, calls, name="intro")
+
+    def test_switching_order_helps(self):
+        inst = self._instance()
+        before = Schedule.of(("a", 0), ("b", 0), ("g", 0), ("e", 0), ("g", 1))
+        after = Schedule.of(("a", 0), ("b", 0), ("g", 0), ("g", 1), ("e", 0))
+        assert (
+            simulate(inst, after).makespan < simulate(inst, before).makespan
+        )
+
+
+class TestFigure1Narrative:
+    def test_highest_level_first_is_tempting_but_worst(self, fig1_instance):
+        """"It may be tempting to think that the best way ... is to pick
+        the highest compilation levels for all the functions ... It
+        turns out to result in the longest make-span among all the
+        three schedules" (Section 4.2)."""
+        s1 = Schedule.of(("f0", 0), ("f1", 0), ("f2", 0))
+        s2 = Schedule.of(("f0", 0), ("f1", 1), ("f2", 0))
+        s3 = Schedule.of(("f0", 0), ("f1", 0), ("f2", 0), ("f1", 1))
+        spans = [simulate(fig1_instance, s).makespan for s in (s1, s2, s3)]
+        assert spans[1] == max(spans)
+        assert spans[2] == min(spans)
+
+    def test_compile_twice_strategy_wins_fig1(self, fig1_instance):
+        """f1 compiled low first to avoid delays, then high to speed up
+        its second invocation."""
+        s3 = Schedule.of(("f0", 0), ("f1", 0), ("f2", 0), ("f1", 1))
+        assert simulate(fig1_instance, s3).makespan == 10.0
+
+
+class TestFigure2Narrative:
+    def test_appending_flips_the_ranking(self, fig2_instance):
+        """"This appending turns the previously best schedule (schedule
+        3) to the worst ... The first schedule with such an appending
+        becomes the best of the three" (Section 4.2)."""
+        s1x = Schedule.of(
+            ("f0", 0), ("f1", 0), ("f2", 0), ("f2", 1)
+        )
+        s2x = Schedule.of(("f0", 0), ("f1", 1), ("f2", 0), ("f2", 1))
+        s3 = Schedule.of(("f0", 0), ("f1", 0), ("f2", 0), ("f1", 1))
+        spans = {
+            "s1x": simulate(fig2_instance, s1x).makespan,
+            "s2x": simulate(fig2_instance, s2x).makespan,
+            "s3": simulate(fig2_instance, s3).makespan,
+        }
+        assert spans["s1x"] == min(spans.values())
+        assert spans["s3"] == max(spans.values())
+
+    def test_s1x_recompiles_the_costliest_function(self, fig2_instance):
+        """Paper: "This schedule has function f2 but not others
+        recompiled, despite that f2 takes the longest time to
+        recompile." """
+        s1x = Schedule.of(("f0", 0), ("f1", 0), ("f2", 0), ("f2", 1))
+        prof = fig2_instance.profiles
+        assert prof["f2"].compile_times[1] == max(
+            p.compile_times[-1] for p in prof.values()
+        )
+        assert simulate(fig2_instance, s1x).makespan == 12.0
+
+
+class TestHeadlineClaims:
+    def test_optimal_beats_every_single_compilation_scheme(self, fig2_instance):
+        opt = optimal_schedule(fig2_instance)
+        assert opt.makespan == 12.0
+        assert astar_schedule(fig2_instance).makespan == 12.0
+
+    def test_multicore_beats_single_core(self, fig2_instance):
+        """Parallel compilation+execution beats one core on this
+        example (the reason multi-core OCSP is interesting at all)."""
+        opt = optimal_schedule(fig2_instance)
+        assert opt.makespan < single_core_optimal_makespan(fig2_instance)
+
+    def test_iar_is_near_optimal_on_synthetic_workload(self):
+        """Section 6.3: IAR produces near-optimal schedules.  On a
+        mid-size synthetic trace its make-span must be within a small
+        factor of the exec-only lower bound."""
+        spec = WorkloadSpec(
+            name="claim",
+            num_functions=20,
+            num_calls=20_000,
+            num_levels=2,
+            zipf_s=1.2,
+            base_compile_us=20.0,
+            mean_exec_us=2.0,
+            level_compile_factors=(1.0, 15.0),
+            max_speedup_range=(2.0, 6.0),
+        )
+        inst = generate(spec, seed=21)
+        span = simulate(inst, iar_schedule(inst), validate=False).makespan
+        assert span <= 1.15 * lower_bound(inst)

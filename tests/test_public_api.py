@@ -1,0 +1,68 @@
+"""Meta-tests: public API wiring stays consistent."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.vm",
+    "repro.jitsim",
+    "repro.workloads",
+    "repro.analysis",
+    "repro.cli",
+]
+
+MODULES = [
+    "repro.core.model", "repro.core.schedule", "repro.core.makespan",
+    "repro.core.singlecore", "repro.core.bounds", "repro.core.single_level",
+    "repro.core.iar", "repro.core.baselines", "repro.core.astar",
+    "repro.core.bruteforce", "repro.core.complexity", "repro.core.localsearch",
+    "repro.core.online", "repro.core.prediction", "repro.core.replan",
+    "repro.core.interp_tier", "repro.core.variability", "repro.core.osr",
+    "repro.vm.costbenefit", "repro.vm.runtime", "repro.vm.jikes",
+    "repro.vm.v8", "repro.vm.hotspot", "repro.vm.priorityqueue",
+    "repro.jitsim.bytecode", "repro.jitsim.interpreter",
+    "repro.jitsim.compiler", "repro.jitsim.programs",
+    "repro.jitsim.generator", "repro.jitsim.inlining",
+    "repro.jitsim.profile_extract",
+    "repro.workloads.synthetic", "repro.workloads.dacapo",
+    "repro.workloads.traces", "repro.workloads.call_log",
+    "repro.analysis.metrics", "repro.analysis.experiments",
+    "repro.analysis.reporting", "repro.analysis.diagnose",
+    "repro.analysis.sensitivity", "repro.analysis.export",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_module_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    for public in getattr(module, "__all__", []):
+        assert hasattr(module, public), f"{name}.__all__ lists missing {public}"
+
+
+def test_core_reexports_cover_submodules():
+    """Every scheduler entry point is reachable from repro.core."""
+    import repro.core as core
+
+    for name in (
+        "iar_schedule", "base_level_schedule", "optimizing_level_schedule",
+        "ondemand_promotion_schedule", "hotness_first_schedule",
+        "greedy_budget_schedule", "random_schedule", "astar_schedule",
+        "optimal_schedule", "improve_schedule", "simulate", "simulate_osr",
+        "simulate_variable", "simulate_single_core", "lower_bound",
+        "warmup_aware_lower_bound", "replan_iar", "cross_run_iar",
+    ):
+        assert hasattr(core, name), name
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__

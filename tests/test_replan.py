@@ -1,0 +1,110 @@
+"""Tests for preinstalled code and periodic replanning (Sections 8/9)."""
+
+import pytest
+
+from repro.core import (
+    FunctionProfile,
+    OCSPInstance,
+    Schedule,
+    iar_schedule,
+    lower_bound,
+    simulate,
+)
+from repro.core.replan import replan_iar
+
+
+class TestPreinstalled:
+    def test_preinstalled_code_available_at_t0(self):
+        profiles = {"a": FunctionProfile("a", (10.0, 50.0), (5.0, 1.0))}
+        inst = OCSPInstance(profiles, ("a", "a"), name="pre")
+        result = simulate(inst, Schedule.empty(), preinstalled={"a": 1})
+        # No compiles, code ready: two calls at level 1.
+        assert result.makespan == 2.0
+        assert result.total_bubble_time == 0.0
+        assert result.calls_at_level == {1: 2}
+
+    def test_schedule_can_upgrade_preinstalled(self):
+        profiles = {"a": FunctionProfile("a", (10.0, 50.0), (5.0, 1.0))}
+        inst = OCSPInstance(profiles, ("a",) * 20, name="pre2")
+        sched = Schedule.of(("a", 1))
+        result = simulate(inst, sched, preinstalled={"a": 0})
+        # Calls run at level 0 until the level-1 compile lands at 50.
+        assert result.calls_at_level[0] == 10
+        assert result.calls_at_level[1] == 10
+
+    def test_uncovered_function_still_rejected(self):
+        from repro.core import ScheduleError
+
+        profiles = {
+            "a": FunctionProfile("a", (1.0,), (1.0,)),
+            "b": FunctionProfile("b", (1.0,), (1.0,)),
+        }
+        inst = OCSPInstance(profiles, ("a", "b"), name="pre3")
+        with pytest.raises(ScheduleError):
+            simulate(inst, Schedule.empty(), preinstalled={"a": 0})
+
+    def test_bad_preinstalled_level(self):
+        profiles = {"a": FunctionProfile("a", (1.0,), (1.0,))}
+        inst = OCSPInstance(profiles, ("a",), name="pre4")
+        with pytest.raises(ValueError):
+            simulate(inst, Schedule.empty(), preinstalled={"a": 5})
+        with pytest.raises(ValueError):
+            simulate(inst, Schedule.empty(), preinstalled={"zzz": 0})
+
+    def test_full_code_cache_reaches_top_speed(self, small_synthetic):
+        """Section 9's persistent code cache: with everything
+        preinstalled at the top level, the make-span IS the lower bound
+        — the scheduling problem disappears."""
+        cache = {
+            f: small_synthetic.profiles[f].num_levels - 1
+            for f in small_synthetic.called_functions
+        }
+        result = simulate(
+            small_synthetic, Schedule.empty(), preinstalled=cache
+        )
+        assert result.makespan == pytest.approx(lower_bound(small_synthetic))
+
+
+class TestReplanIAR:
+    def test_one_segment_close_to_one_shot(self, small_synthetic):
+        result = replan_iar(small_synthetic, time_error=0.5, segments=1, seed=3)
+        # Same information, same planner; segment bookkeeping may skip
+        # step-4 tail appends, so allow a small difference.
+        assert result.makespan == pytest.approx(
+            result.one_shot_makespan, rel=0.05
+        )
+
+    def test_replanning_recovers_loss(self, small_synthetic):
+        one = replan_iar(small_synthetic, time_error=1.5, segments=1, seed=3)
+        few = replan_iar(small_synthetic, time_error=1.5, segments=4, seed=3)
+        assert few.makespan < one.makespan
+        assert few.recovered > 0.2
+
+    def test_bounds_respected(self, small_synthetic):
+        result = replan_iar(small_synthetic, time_error=0.8, segments=3, seed=1)
+        assert result.makespan >= result.lower_bound - 1e-6
+        assert result.oracle_makespan >= result.lower_bound - 1e-6
+
+    def test_bad_segments(self, small_synthetic):
+        with pytest.raises(ValueError):
+            replan_iar(small_synthetic, segments=0)
+
+    def test_recovered_metric(self, small_synthetic):
+        result = replan_iar(small_synthetic, time_error=1.0, segments=4, seed=2)
+        assert result.recovered <= 1.5  # sanity: not absurd
+
+
+class TestPreinstalledFastTail:
+    def test_preinstalled_only_matches_timeline_path(self, small_synthetic):
+        """With everything preinstalled and no schedule, the fast-tail
+        summation must agree with the per-call timeline path."""
+        cache = {f: 0 for f in small_synthetic.called_functions}
+        fast = simulate(small_synthetic, Schedule.empty(), preinstalled=cache)
+        slow = simulate(
+            small_synthetic,
+            Schedule.empty(),
+            preinstalled=cache,
+            record_timeline=True,
+        )
+        assert fast.makespan == pytest.approx(slow.makespan)
+        assert fast.calls_at_level == slow.calls_at_level

@@ -1,0 +1,97 @@
+"""Tests for the realistic sample programs (sorting, matmul, hashing)."""
+
+import pytest
+
+from repro.core import iar_schedule, lower_bound, simulate
+from repro.jitsim import (
+    Interpreter,
+    extract_instance,
+    hashing_program,
+    inline_program,
+    matmul_program,
+    sorting_program,
+)
+from repro.jitsim.bytecode import BytecodeError
+
+
+class TestSortingProgram:
+    def test_runs_and_returns_round_count(self):
+        trace = Interpreter(sorting_program(rounds=15)).run()
+        assert trace.result == 15  # driver returns iterations executed
+
+    def test_kernel_dominates_trace(self):
+        trace = Interpreter(sorting_program(rounds=50)).run()
+        seq = trace.call_sequence
+        assert seq.count("sort_kernel") == 50
+
+    def test_kernel_actually_sorts(self):
+        # The kernel returns the median of the sorted pseudo-array; it
+        # must be deterministic and stable across repeated runs.
+        a = Interpreter(sorting_program(rounds=5)).run()
+        b = Interpreter(sorting_program(rounds=5)).run()
+        assert [r.instructions for r in a.invocations] == [
+            r.instructions for r in b.invocations
+        ]
+
+    def test_bad_array_size(self):
+        with pytest.raises(BytecodeError):
+            sorting_program(array_size=1)
+
+    def test_branchy_kernel_is_big(self):
+        prog = sorting_program(array_size=8)
+        assert prog.functions["sort_kernel"].size > 100
+
+
+class TestMatmulProgram:
+    def test_runs(self):
+        trace = Interpreter(matmul_program(size=3, rounds=8)).run()
+        assert trace.result == 8
+
+    def test_call_structure(self):
+        size, rounds = 3, 8
+        trace = Interpreter(matmul_program(size=size, rounds=rounds)).run()
+        seq = trace.call_sequence
+        assert seq.count("mat_once") == rounds
+        assert seq.count("dot_row") == rounds * size * size
+
+    def test_dot_row_is_inlinable_target(self):
+        prog = matmul_program(size=3)
+        inlined = inline_program(prog, max_callee_size=64)
+        assert not inlined.functions["mat_once"].call_targets()
+        assert (
+            Interpreter(inlined).run().result
+            == Interpreter(prog).run().result
+        )
+
+    def test_bad_size(self):
+        with pytest.raises(BytecodeError):
+            matmul_program(size=1)
+
+
+class TestHashingProgram:
+    def test_deterministic_hash(self):
+        a = Interpreter(hashing_program(items=200)).run()
+        b = Interpreter(hashing_program(items=200)).run()
+        assert a.result == b.result
+
+    def test_alternating_leaves(self):
+        trace = Interpreter(hashing_program(items=100)).run()
+        seq = [f for f in trace.call_sequence if f != "main"]
+        assert seq[0::2] == ["next_item"] * 100
+        assert seq[1::2] == ["mix_hash"] * 100
+
+
+class TestSchedulingOnSamplePrograms:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: sorting_program(rounds=200),
+            lambda: matmul_program(size=3, rounds=50),
+            lambda: hashing_program(items=2000),
+        ],
+    )
+    def test_end_to_end(self, builder):
+        inst = extract_instance(builder(), name="sample")
+        sched = iar_schedule(inst)
+        sched.validate(inst)
+        assert simulate(inst, sched, validate=False).makespan >= lower_bound(inst)

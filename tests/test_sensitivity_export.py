@@ -1,0 +1,64 @@
+"""Tests for the sensitivity sweep and CSV export."""
+
+import pytest
+
+from repro.analysis.export import rows_to_csv, save_csv
+from repro.analysis.sensitivity import DEFAULT_BASE_SPEC, sweep_parameter
+from repro.workloads.synthetic import WorkloadSpec
+from dataclasses import replace
+
+SMALL = replace(DEFAULT_BASE_SPEC, num_functions=30, num_calls=4000)
+
+
+class TestSweep:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(TypeError):
+            sweep_parameter("warp_factor", [1, 2])
+
+    def test_sweep_zipf(self):
+        rows = sweep_parameter("zipf_s", (1.1, 1.6), base_spec=SMALL)
+        assert [r["zipf_s"] for r in rows] == [1.1, 1.6]
+        for row in rows:
+            assert row["iar"] >= 1.0
+            assert row["scheduling_payoff"] > 0
+
+    def test_compile_cost_drives_payoff(self):
+        """With near-free compiles, scheduling cannot matter much; with
+        expensive compiles it must."""
+        rows = sweep_parameter(
+            "base_compile_us", (0.01, 50.0), base_spec=SMALL
+        )
+        cheap, costly = rows
+        assert costly["scheduling_payoff"] >= cheap["scheduling_payoff"] - 0.02
+
+    def test_deterministic(self):
+        a = sweep_parameter("zipf_s", (1.3,), base_spec=SMALL)
+        b = sweep_parameter("zipf_s", (1.3,), base_spec=SMALL)
+        assert a == b
+
+
+class TestCSV:
+    ROWS = [
+        {"benchmark": "x", "iar": 1.1},
+        {"benchmark": "y", "iar": 1.2, "extra": "e"},
+    ]
+
+    def test_roundtrip_columns(self):
+        text = rows_to_csv(self.ROWS)
+        lines = text.strip().splitlines()
+        assert lines[0] == "benchmark,iar,extra"
+        assert lines[1] == "x,1.1,"
+        assert lines[2] == "y,1.2,e"
+
+    def test_column_selection(self):
+        text = rows_to_csv(self.ROWS, columns=["iar"])
+        assert text.strip().splitlines()[0] == "iar"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rows_to_csv([])
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "out.csv"
+        save_csv(self.ROWS, path)
+        assert path.read_text().startswith("benchmark,iar")

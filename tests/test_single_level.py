@@ -1,0 +1,57 @@
+"""Tests for single-level approximations (Section 5.1)."""
+
+import pytest
+
+from repro.core import simulate
+from repro.core.single_level import (
+    base_level_schedule,
+    optimizing_level_schedule,
+    single_level_schedule,
+)
+
+
+class TestSingleLevelSchedule:
+    def test_first_appearance_order(self, fig2_instance):
+        sched = single_level_schedule(fig2_instance, lambda f: 0)
+        assert [t.function for t in sched] == ["f0", "f1", "f2"]
+
+    def test_one_task_per_function(self, fig2_instance):
+        sched = single_level_schedule(fig2_instance, lambda f: 0)
+        assert len(sched) == fig2_instance.num_functions
+
+    def test_level_chooser_applied(self, fig2_instance):
+        sched = single_level_schedule(
+            fig2_instance, lambda f: 1 if f != "f0" else 0
+        )
+        assert sched.highest_level_of("f1") == 1
+        assert sched.highest_level_of("f0") == 0
+
+    def test_valid(self, fig2_instance, small_synthetic):
+        for inst in (fig2_instance, small_synthetic):
+            assert single_level_schedule(inst, lambda f: 0).is_valid_for(inst)
+
+
+class TestBaseLevel:
+    def test_all_level_zero(self, small_synthetic):
+        sched = base_level_schedule(small_synthetic)
+        assert all(t.level == 0 for t in sched)
+
+    def test_fig1_matches_scheme_s1(self, fig1_instance):
+        sched = base_level_schedule(fig1_instance)
+        assert simulate(fig1_instance, sched).makespan == 11.0
+
+
+class TestOptimizingLevel:
+    def test_defaults_to_cost_effective(self, two_function_instance):
+        sched = optimizing_level_schedule(two_function_instance)
+        assert sched.highest_level_of("hot") == 1
+        assert sched.highest_level_of("cold") == 0
+
+    def test_explicit_levels(self, fig1_instance):
+        sched = optimizing_level_schedule(fig1_instance, levels={"f0": 0, "f1": 1, "f2": 0})
+        assert simulate(fig1_instance, sched).makespan == 12.0  # scheme s2
+
+    def test_no_recompilations(self, small_synthetic):
+        sched = optimizing_level_schedule(small_synthetic)
+        names = [t.function for t in sched]
+        assert len(names) == len(set(names))

@@ -1,0 +1,93 @@
+"""Tests for Theorem 1: single-core optimal scheduling."""
+
+from itertools import permutations, product
+
+import pytest
+
+from repro.core import (
+    FunctionProfile,
+    OCSPInstance,
+    Schedule,
+    simulate_single_core,
+)
+from repro.core.singlecore import (
+    most_cost_effective_levels,
+    single_core_optimal_makespan,
+    single_core_optimal_schedule,
+)
+
+
+class TestMostCostEffectiveLevels:
+    def test_hot_function_gets_deep_level(self, two_function_instance):
+        levels = most_cost_effective_levels(two_function_instance)
+        assert levels["hot"] == 1   # 20 calls: 10+20 < 1+100
+        assert levels["cold"] == 0  # 1 call: 1+2 < 20+1
+
+    def test_only_called_functions_included(self):
+        profiles = {
+            "a": FunctionProfile("a", (1.0,), (1.0,)),
+            "b": FunctionProfile("b", (1.0,), (1.0,)),
+        }
+        inst = OCSPInstance(profiles, ("a",))
+        assert set(most_cost_effective_levels(inst)) == {"a"}
+
+
+class TestOptimalSchedule:
+    def test_each_function_once_at_its_level(self, two_function_instance):
+        sched = single_core_optimal_schedule(two_function_instance)
+        assert [t.function for t in sched] == ["cold", "hot"]
+        assert sched.highest_level_of("hot") == 1
+        assert sched.highest_level_of("cold") == 0
+
+    def test_makespan_formula_matches_simulation(self, two_function_instance):
+        sched = single_core_optimal_schedule(two_function_instance)
+        sim = simulate_single_core(two_function_instance, sched)
+        assert sim.makespan == pytest.approx(
+            single_core_optimal_makespan(two_function_instance)
+        )
+
+
+class TestTheorem1Exhaustively:
+    """Verify optimality by enumerating every single-compilation
+    schedule (all orders x all level choices) on a small instance."""
+
+    def _enumerate_makespans(self, instance):
+        functions = instance.called_functions
+        level_choices = [range(instance.profiles[f].num_levels) for f in functions]
+        for order in permutations(functions):
+            for levels in product(*level_choices):
+                by_name = dict(zip(functions, levels))
+                sched = Schedule.of(*((f, by_name[f]) for f in order))
+                yield simulate_single_core(instance, sched).makespan
+
+    def test_formula_is_minimum(self, fig2_instance):
+        best = min(self._enumerate_makespans(fig2_instance))
+        assert best == pytest.approx(single_core_optimal_makespan(fig2_instance))
+
+    def test_any_order_achieves_optimum(self, fig2_instance):
+        # Theorem 1: an ARBITRARY order at the cost-effective levels is
+        # optimal — check every permutation explicitly.
+        functions = fig2_instance.called_functions
+        levels = most_cost_effective_levels(fig2_instance)
+        target = single_core_optimal_makespan(fig2_instance)
+        for order in permutations(functions):
+            sched = Schedule.of(*((f, levels[f]) for f in order))
+            assert simulate_single_core(fig2_instance, sched).makespan == pytest.approx(
+                target
+            )
+
+    def test_recompilation_never_helps_single_core(self, fig2_instance):
+        # Adding a recompilation only adds compile time on one core.
+        levels = most_cost_effective_levels(fig2_instance)
+        base = single_core_optimal_schedule(fig2_instance)
+        base_span = simulate_single_core(fig2_instance, base).makespan
+        with_recompile = Schedule.of(
+            ("f0", 0), ("f1", 0), ("f2", 0), ("f1", 1), ("f2", 1)
+        )
+        assert (
+            simulate_single_core(fig2_instance, with_recompile).makespan >= base_span
+        )
+
+    def test_synthetic_instance(self, tiny_synthetic):
+        best = min(self._enumerate_makespans(tiny_synthetic))
+        assert best == pytest.approx(single_core_optimal_makespan(tiny_synthetic))

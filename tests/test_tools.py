@@ -1,0 +1,51 @@
+"""Tests for repository tooling (docs generation)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+def _load_gen_api_docs():
+    spec = importlib.util.spec_from_file_location(
+        "gen_api_docs", TOOLS / "gen_api_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGenApiDocs:
+    def test_all_modules_importable(self):
+        gen = _load_gen_api_docs()
+        import importlib
+
+        for name in gen.MODULES:
+            importlib.import_module(name)
+
+    def test_describe_class_and_function(self):
+        gen = _load_gen_api_docs()
+        from repro.core import FunctionProfile, lower_bound
+
+        cls_doc = gen.describe("FunctionProfile", FunctionProfile)
+        assert cls_doc.startswith("### class `FunctionProfile")
+        assert ".total_cost" in cls_doc
+        fn_doc = gen.describe("lower_bound", lower_bound)
+        assert fn_doc.startswith("### `lower_bound")
+
+    def test_first_paragraph(self):
+        gen = _load_gen_api_docs()
+        from repro.core import simulate
+
+        text = gen.first_paragraph(simulate)
+        assert text.startswith("Simulate")
+        assert "\n" not in text
+
+    def test_generated_doc_exists_and_covers_modules(self):
+        doc = (TOOLS.parent / "docs" / "API.md").read_text()
+        gen = _load_gen_api_docs()
+        for name in gen.MODULES:
+            assert f"## `{name}`" in doc, f"{name} missing from docs/API.md"

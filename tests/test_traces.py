@@ -1,0 +1,53 @@
+"""Tests for trace (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.workloads import traces
+from repro.workloads.synthetic import WorkloadSpec, generate
+
+
+class TestRoundTrip:
+    def test_json_roundtrip(self, fig2_instance):
+        text = traces.to_json(fig2_instance)
+        back = traces.from_json(text)
+        assert back.calls == fig2_instance.calls
+        assert back.profiles == dict(fig2_instance.profiles)
+        assert back.name == fig2_instance.name
+
+    def test_synthetic_roundtrip(self):
+        inst = generate(WorkloadSpec(num_functions=10, num_calls=200), seed=9)
+        back = traces.from_json(traces.to_json(inst))
+        assert back.calls == inst.calls
+        assert back.profiles == dict(inst.profiles)
+
+    def test_file_roundtrip(self, tmp_path, fig1_instance):
+        path = tmp_path / "trace.json"
+        traces.save(fig1_instance, path)
+        back = traces.load(path)
+        assert back.calls == fig1_instance.calls
+
+    def test_empty_instance(self):
+        from repro.core import OCSPInstance
+
+        inst = OCSPInstance({}, (), name="empty")
+        back = traces.from_json(traces.to_json(inst))
+        assert back.num_calls == 0
+
+
+class TestFormat:
+    def test_version_field(self, fig1_instance):
+        doc = json.loads(traces.to_json(fig1_instance))
+        assert doc["version"] == 1
+        assert {"name", "functions", "calls"} <= set(doc)
+
+    def test_unsupported_version_rejected(self, fig1_instance):
+        doc = json.loads(traces.to_json(fig1_instance))
+        doc["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            traces.from_json(json.dumps(doc))
+
+    def test_calls_stored_as_indices(self, fig1_instance):
+        doc = json.loads(traces.to_json(fig1_instance))
+        assert all(isinstance(i, int) for i in doc["calls"])

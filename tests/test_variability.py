@@ -1,0 +1,79 @@
+"""Tests for per-invocation execution-time variability (Section 8)."""
+
+import pytest
+
+from repro.core import Schedule, iar_schedule, simulate, simulate_variable
+from repro.core.single_level import base_level_schedule
+from repro.core.variability import variability_experiment
+
+
+class TestSimulateVariable:
+    def test_zero_sigma_matches_deterministic(self, fig2_instance):
+        sched = Schedule.of(("f0", 0), ("f1", 0), ("f2", 0), ("f1", 1))
+        det = simulate(fig2_instance, sched)
+        var = simulate_variable(fig2_instance, sched, rel_sigma=0.0)
+        assert var.makespan == det.makespan
+        assert var.total_bubble_time == det.total_bubble_time
+
+    def test_deterministic_per_seed(self, small_synthetic):
+        sched = base_level_schedule(small_synthetic)
+        a = simulate_variable(small_synthetic, sched, 0.5, seed=4)
+        b = simulate_variable(small_synthetic, sched, 0.5, seed=4)
+        assert a.makespan == b.makespan
+
+    def test_seed_varies(self, small_synthetic):
+        sched = base_level_schedule(small_synthetic)
+        a = simulate_variable(small_synthetic, sched, 0.5, seed=4)
+        b = simulate_variable(small_synthetic, sched, 0.5, seed=5)
+        assert a.makespan != b.makespan
+
+    def test_negative_sigma_rejected(self, small_synthetic):
+        sched = base_level_schedule(small_synthetic)
+        with pytest.raises(ValueError):
+            simulate_variable(small_synthetic, sched, -0.1)
+
+    def test_bad_threads_rejected(self, small_synthetic):
+        sched = base_level_schedule(small_synthetic)
+        with pytest.raises(ValueError):
+            simulate_variable(small_synthetic, sched, 0.1, compile_threads=0)
+
+    def test_unit_mean_noise(self, small_synthetic):
+        """The paper's Section 8 argument: averages are what matter.
+        Across seeds, the mean variable make-span stays near the
+        deterministic one."""
+        sched = base_level_schedule(small_synthetic)
+        det = simulate(small_synthetic, sched, validate=False).makespan
+        trials = [
+            simulate_variable(small_synthetic, sched, 0.5, seed=s).makespan
+            for s in range(12)
+        ]
+        mean = sum(trials) / len(trials)
+        assert abs(mean - det) / det < 0.05
+
+    def test_counts_every_call(self, small_synthetic):
+        sched = base_level_schedule(small_synthetic)
+        result = simulate_variable(small_synthetic, sched, 0.5, seed=1)
+        assert sum(result.calls_at_level.values()) == small_synthetic.num_calls
+
+
+class TestVariabilityExperiment:
+    def test_rankings_stable_under_noise(self, small_synthetic):
+        """The paper's conclusion: variability does not change who
+        wins.  IAR must beat base-level at every sigma."""
+        schedules = {
+            "iar": iar_schedule(small_synthetic),
+            "base": base_level_schedule(small_synthetic),
+        }
+        rows = variability_experiment(
+            small_synthetic, schedules, sigmas=(0.0, 0.5, 1.0), trials=4
+        )
+        for row in rows:
+            assert row["iar"] <= row["base"]
+
+    def test_row_shape(self, small_synthetic):
+        schedules = {"iar": iar_schedule(small_synthetic)}
+        rows = variability_experiment(
+            small_synthetic, schedules, sigmas=(0.0, 0.3), trials=2
+        )
+        assert [row["sigma"] for row in rows] == [0.0, 0.3]
+        assert all("iar" in row for row in rows)
