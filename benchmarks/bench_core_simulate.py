@@ -5,7 +5,10 @@ one-shot pedantic runs, tracking the cost of the two hot paths every
 experiment goes through.
 """
 
-from repro.core import iar_schedule, simulate
+import random
+
+from repro.core import FastSimulator, iar_schedule, simulate
+from repro.core.localsearch import _propose
 from repro.core.single_level import base_level_schedule
 from repro.workloads import WorkloadSpec, generate
 
@@ -37,6 +40,38 @@ def test_simulate_16_threads_throughput(benchmark):
         simulate, INSTANCE, SCHEDULE, compile_threads=16, validate=False
     )
     assert result.makespan > 0
+
+
+def test_fast_evaluate_throughput(benchmark):
+    """Full (non-incremental) evaluation on the precomputed engine."""
+    fast = FastSimulator(INSTANCE)
+    result = benchmark(fast.evaluate, SCHEDULE)
+    assert result.makespan == simulate(INSTANCE, SCHEDULE, validate=False).makespan
+
+
+def test_fast_incremental_throughput(benchmark):
+    """Per-move cost of the propose/commit path local search runs on.
+
+    Each round scores (and occasionally commits) one random schedule
+    mutation; the engine replays only the affected call suffix.
+    """
+    fast = FastSimulator(INSTANCE)
+    fast.bind(SCHEDULE)
+    rng = random.Random(7)
+    state = {"tasks": list(SCHEDULE)}
+
+    def one_move():
+        proposal = None
+        while proposal is None:
+            proposal = _propose(INSTANCE, state["tasks"], rng)
+        span = fast.propose(proposal, cutoff=fast.baseline_makespan)
+        if span <= fast.baseline_makespan:
+            fast.commit()
+            state["tasks"] = proposal
+        return span
+
+    span = benchmark(one_move)
+    assert span > 0
 
 
 def test_iar_throughput(benchmark):

@@ -8,7 +8,9 @@ schedule dramatically — IAR is already sitting near a strong local
 (and, by the bound, near the global) optimum.
 """
 
-from repro.analysis import average_row, format_figure
+import time
+
+from repro.analysis import average_row, format_figure, format_table
 from repro.analysis.experiments import project_to_model_levels
 from repro.core import lower_bound, simulate
 from repro.core.iar import iar_schedule
@@ -67,3 +69,56 @@ def test_localsearch_probe(benchmark, suite, report, scale):
     # Search recovers little on IAR, much more on the naive schedule.
     assert float(avg["iar_gain%"]) < 6.0
     assert float(avg["base_gain%"]) > float(avg["iar_gain%"])
+
+
+def _engine_timing(instance, schedule, engine, iterations):
+    t0 = time.perf_counter()
+    final, stats = improve_schedule(
+        instance, schedule, iterations=iterations, seed=13, engine=engine
+    )
+    return time.perf_counter() - t0, final, stats
+
+
+def test_fast_engine_speedup(suite, report, scale):
+    """The tentpole's acceptance gate: the incremental FastSimulator
+    engine must make local-search moves >= 3x cheaper than re-simulating
+    from scratch, while walking the *identical* trajectory (same final
+    schedule, same make-span).
+    """
+    rows = []
+    worst = float("inf")
+    # The three largest traces — where per-move cost dominates and the
+    # suffix-replay advantage is the paper-relevant regime.
+    big = dict(sorted(suite.items(), key=lambda kv: -kv[1].num_calls)[:3])
+    for name, instance in big.items():
+        schedule = iar_schedule(instance)
+        ref_s, ref_final, ref_stats = _engine_timing(
+            instance, schedule, "reference", ITERATIONS
+        )
+        fast_s, fast_final, fast_stats = _engine_timing(
+            instance, schedule, "fast", ITERATIONS
+        )
+        assert tuple(fast_final) == tuple(ref_final)
+        assert fast_stats == ref_stats
+        speedup = ref_s / fast_s
+        worst = min(worst, speedup)
+        rows.append(
+            {
+                "benchmark": name,
+                "calls": instance.num_calls,
+                "reference_ms/move": 1000 * ref_s / ITERATIONS,
+                "fast_ms/move": 1000 * fast_s / ITERATIONS,
+                "speedup": speedup,
+            }
+        )
+    report(
+        "fast_engine_speedup",
+        format_table(
+            rows,
+            title=(
+                f"Local-search move cost, reference vs fast engine "
+                f"({ITERATIONS} moves, scale={scale})"
+            ),
+        ),
+    )
+    assert worst >= 3.0, f"fast engine speedup {worst:.2f}x < 3x"

@@ -1,0 +1,83 @@
+"""Wall-clock scaling of the parallel experiment runner.
+
+The acceptance gates for ``run_parallel``: fanning the nine-trace
+DaCapo suite across four worker processes must (a) produce rows
+byte-identical to the serial path — always — and (b) beat the serial
+run on wall-clock wherever the hardware can actually run two workers
+at once.  On a single-CPU host process fan-out is pure overhead, so
+the timing gate is skipped there (with the measured overhead still
+reported for the record).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis import format_table, run_parallel
+
+# The figure drivers re-run every scheduler per benchmark — the
+# embarrassingly parallel bulk of a `repro study`.
+DRIVERS = ("figure5", "figure6", "figure8")
+
+try:
+    CPUS = len(os.sched_getaffinity(0))
+except AttributeError:  # macOS / Windows
+    CPUS = os.cpu_count() or 1
+
+
+def _timed(suite, jobs):
+    t0 = time.perf_counter()
+    run = run_parallel(suite, drivers=DRIVERS, jobs=jobs)
+    return time.perf_counter() - t0, run
+
+
+@pytest.fixture(scope="module")
+def timings(suite):
+    # Warm both code paths (imports, allocator) before timing.
+    small = {name: suite[name] for name in list(suite)[:1]}
+    _timed(small, 1)
+    _timed(small, 2)
+    serial_s, serial = _timed(suite, 1)
+    parallel_s, parallel = _timed(suite, 4)
+    return serial_s, serial, parallel_s, parallel
+
+
+def test_parallel_rows_identical_to_serial(timings, suite, report, scale):
+    serial_s, serial, parallel_s, parallel = timings
+
+    assert serial.ok and parallel.ok
+    assert serial.rows == parallel.rows, "parallel run changed results"
+
+    report(
+        "parallel_runner",
+        format_table(
+            [
+                {
+                    "jobs": jobs,
+                    "wall_s": secs,
+                    "speedup": serial_s / secs,
+                }
+                for jobs, secs in ((1, serial_s), (4, parallel_s))
+            ],
+            title=(
+                f"run_parallel over {len(suite)} traces x {len(DRIVERS)} "
+                f"drivers (scale={scale}, {CPUS} CPUs visible)"
+            ),
+        ),
+    )
+
+
+@pytest.mark.skipif(
+    CPUS < 2,
+    reason=(
+        "wall-clock speedup needs >= 2 CPUs; this host exposes only "
+        "one, so four workers just time-slice a single core"
+    ),
+)
+def test_parallel_runner_beats_serial(timings):
+    serial_s, serial, parallel_s, parallel = timings
+    assert serial.rows == parallel.rows
+    assert parallel_s < serial_s, (
+        f"jobs=4 ({parallel_s:.2f}s) not faster than serial ({serial_s:.2f}s)"
+    )

@@ -10,6 +10,8 @@ from .diagnose import GapDiagnosis, diagnose
 from .export import rows_to_csv, save_csv
 from .sensitivity import sweep_parameter
 from .experiments import (
+    PARALLEL_DRIVERS,
+    SuiteRun,
     astar_scaling,
     average_row,
     figure5,
@@ -17,11 +19,18 @@ from .experiments import (
     figure7,
     figure8,
     grand_comparison,
+    run_parallel,
     scheme_comparison,
     table1,
     table2,
 )
-from .reporting import format_figure, format_table, format_timeline, render_rows
+from .reporting import (
+    format_errors,
+    format_figure,
+    format_table,
+    format_timeline,
+    render_rows,
+)
 
 __all__ = [
     "metrics",
@@ -42,6 +51,10 @@ __all__ = [
     "grand_comparison",
     "astar_scaling",
     "average_row",
+    "PARALLEL_DRIVERS",
+    "SuiteRun",
+    "run_parallel",
+    "format_errors",
     "format_table",
     "format_figure",
     "format_timeline",

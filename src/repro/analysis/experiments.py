@@ -20,8 +20,10 @@ driver                 reproduces
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.astar import AStarMemoryExceeded, astar_schedule
 from ..core.bounds import lower_bound
@@ -47,6 +49,9 @@ __all__ = [
     "table2",
     "astar_scaling",
     "average_row",
+    "PARALLEL_DRIVERS",
+    "SuiteRun",
+    "run_parallel",
 ]
 
 Suite = Dict[str, OCSPInstance]
@@ -367,6 +372,164 @@ def grand_comparison(
         ),
     }
     return row
+
+
+# ----------------------------------------------------------------------
+# Parallel experiment runner
+# ----------------------------------------------------------------------
+#
+# Every figure/table driver above computes each benchmark's row
+# independently, so a (driver, benchmark) pair is a natural unit of
+# work: the suite fans out across processes and the rows reassemble in
+# suite order, yielding results numerically identical to the serial
+# path.  A unit that raises is reported as an error entry instead of
+# killing the run — one failing trace degrades the study gracefully.
+
+PARALLEL_DRIVERS: Dict[str, Callable[..., List[Dict[str, object]]]] = {}
+
+
+def _parallel_driver(func):
+    PARALLEL_DRIVERS[func.__name__] = func
+    return func
+
+
+for _driver in (figure5, figure6, figure7, figure8, table2):
+    _parallel_driver(_driver)
+
+
+@dataclass(frozen=True)
+class SuiteRun:
+    """Outcome of :func:`run_parallel`.
+
+    Attributes:
+        rows: driver name → rows, in driver order then suite order —
+            exactly what the serial driver would have returned, minus
+            the rows of failed units.
+        errors: one entry per failed (driver, benchmark) unit:
+            ``{"driver", "benchmark", "error"}``.
+        jobs: worker processes actually used (1 = serial).
+    """
+
+    rows: Dict[str, List[Dict[str, object]]]
+    errors: Tuple[Dict[str, str], ...]
+    jobs: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+# Set (in the parent) right before a fork-context pool spawns its
+# workers: forked children inherit the suite through copy-on-write
+# memory, so work units travel as names only and the multi-hundred-MB
+# instances are never pickled.  ``None`` outside a fork-pool window.
+_FORK_SUITE: Optional[Suite] = None
+
+
+def _run_unit(unit):
+    """One (driver, benchmark) work unit; exceptions become data."""
+    driver_name, bench_name, instance, kwargs = unit
+    if instance is None:  # fork path: read the inherited suite
+        instance = _FORK_SUITE[bench_name]
+    try:
+        rows = PARALLEL_DRIVERS[driver_name]({bench_name: instance}, **kwargs)
+        return driver_name, bench_name, rows, None
+    except Exception as exc:  # isolate the failing trace
+        return driver_name, bench_name, [], f"{type(exc).__name__}: {exc}"
+
+
+def run_parallel(
+    suite: Suite,
+    drivers: Sequence[str] = ("figure5", "figure6", "figure7", "figure8", "table2"),
+    jobs: Optional[int] = None,
+    driver_kwargs: Optional[Dict[str, Dict[str, object]]] = None,
+) -> SuiteRun:
+    """Run experiment drivers over a suite, fanning benchmarks out
+    across processes.
+
+    Args:
+        suite: ``{benchmark: instance}`` (e.g. from
+            :func:`repro.workloads.dacapo.load_suite`).
+        drivers: names from :data:`PARALLEL_DRIVERS` to run.
+        jobs: worker processes; ``None`` picks ``min(cpu_count, units)``
+            and ``1`` runs serially (same code path, same isolation).
+        driver_kwargs: optional per-driver keyword arguments (e.g.
+            ``{"figure5": {"model_seed": 1}}``).
+
+    Returns:
+        A :class:`SuiteRun`; row ordering is deterministic (driver
+        order, then suite insertion order) regardless of ``jobs``.
+
+    Raises:
+        KeyError: for an unknown driver name.
+    """
+    driver_kwargs = driver_kwargs or {}
+    for name in drivers:
+        if name not in PARALLEL_DRIVERS:
+            raise KeyError(
+                f"unknown driver {name!r}; available: "
+                f"{sorted(PARALLEL_DRIVERS)}"
+            )
+    units = [
+        (driver, bench, instance, driver_kwargs.get(driver, {}))
+        for driver in drivers
+        for bench, instance in suite.items()
+    ]
+    if jobs is None:
+        try:
+            available = len(os.sched_getaffinity(0))
+        except AttributeError:  # macOS / Windows
+            available = os.cpu_count() or 1
+        jobs = min(available, max(len(units), 1))
+    jobs = max(1, int(jobs))
+
+    outcomes = None
+    used_jobs = 1
+    if jobs > 1 and len(units) > 1:
+        global _FORK_SUITE
+        try:
+            import concurrent.futures
+            import multiprocessing
+
+            if "fork" in multiprocessing.get_all_start_methods():
+                # Fork workers inherit ``suite`` (and every imported
+                # module) via copy-on-write, so units ship as names
+                # only.  Shipping the instances themselves through the
+                # pickle pipe costs more than the driver work saves.
+                mp_context = multiprocessing.get_context("fork")
+                pool_units = [
+                    (driver, bench, None, kwargs)
+                    for driver, bench, _, kwargs in units
+                ]
+                _FORK_SUITE = suite
+            else:
+                mp_context = None
+                pool_units = units
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(units)), mp_context=mp_context
+            ) as pool:
+                outcomes = list(pool.map(_run_unit, pool_units, chunksize=1))
+            used_jobs = min(jobs, len(units))
+        except (ImportError, OSError, PermissionError):
+            # No usable multiprocessing (restricted sandbox, missing
+            # /dev/shm, ...): degrade to the serial path.
+            outcomes = None
+        finally:
+            _FORK_SUITE = None
+    if outcomes is None:
+        outcomes = [_run_unit(unit) for unit in units]
+        used_jobs = 1
+
+    rows: Dict[str, List[Dict[str, object]]] = {name: [] for name in drivers}
+    errors: List[Dict[str, str]] = []
+    for driver_name, bench_name, unit_rows, error in outcomes:
+        if error is not None:
+            errors.append(
+                {"driver": driver_name, "benchmark": bench_name, "error": error}
+            )
+            continue
+        rows[driver_name].extend(unit_rows)
+    return SuiteRun(rows=rows, errors=tuple(errors), jobs=used_jobs)
 
 
 def average_row(

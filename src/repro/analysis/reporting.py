@@ -8,7 +8,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "format_figure", "render_rows", "format_timeline"]
+__all__ = [
+    "format_table",
+    "format_figure",
+    "render_rows",
+    "format_timeline",
+    "format_errors",
+]
 
 
 def _fmt(value: object, precision: int) -> str:
@@ -104,6 +110,23 @@ def format_timeline(result, precision: int = 1) -> str:
             f"{label.ljust(width)}"
         )
     lines.append(f"make-span: {result.makespan:.{precision}f}")
+    return "\n".join(lines)
+
+
+def format_errors(errors: Sequence[Dict[str, str]]) -> str:
+    """Render :class:`~repro.analysis.experiments.SuiteRun` error
+    entries — one warning line per failed (driver, benchmark) unit.
+
+    Returns an empty string when there is nothing to report, so callers
+    can print the result unconditionally.
+    """
+    if not errors:
+        return ""
+    lines = [
+        f"WARNING: {e.get('driver', '?')}/{e.get('benchmark', '?')} failed: "
+        f"{e.get('error', 'unknown error')}"
+        for e in errors
+    ]
     return "\n".join(lines)
 
 

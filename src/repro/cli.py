@@ -32,14 +32,11 @@ from .analysis import (
     astar_scaling,
     average_row,
     diagnose,
-    figure5,
-    figure6,
-    figure7,
-    figure8,
+    format_errors,
     format_figure,
     format_table,
+    run_parallel,
     table1,
-    table2,
 )
 from .core import (
     Schedule,
@@ -117,6 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["table1", "fig5", "fig6", "fig7", "fig8", "table2", "astar", "all"],
         default="all",
     )
+    study.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the figure/table drivers (benchmarks fan "
+            "out per process; results are identical to --jobs 1); "
+            "0 = one per CPU"
+        ),
+    )
 
     imp = sub.add_parser(
         "import-trace", help="build a trace from a profiler call log + cost CSV"
@@ -184,37 +191,46 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0
 
 
+_STUDY_DRIVERS = {
+    "fig5": ("figure5", "Figure 5"),
+    "fig6": ("figure6", "Figure 6"),
+    "fig7": ("figure7", "Figure 7"),
+    "fig8": ("figure8", "Figure 8"),
+    "table2": ("table2", "Table 2"),
+}
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     wanted = args.figure
+    jobs = None if args.jobs == 0 else args.jobs
     if wanted in ("table1", "all"):
         print(format_table(table1(scale=args.scale), title="Table 1", precision=1))
         print()
-    if wanted in ("fig5", "fig6", "fig7", "fig8", "table2", "all"):
+    if wanted in _STUDY_DRIVERS or wanted == "all":
         suite = dacapo.load_suite(scale=args.scale)
-        if wanted in ("fig5", "all"):
-            rows = figure5(suite)
-            rows.insert(0, average_row(rows, _FIGURE_SERIES))
-            print(format_figure(rows, _FIGURE_SERIES, title="Figure 5"))
+        keys = list(_STUDY_DRIVERS) if wanted == "all" else [wanted]
+        drivers = [_STUDY_DRIVERS[key][0] for key in keys]
+        run = run_parallel(suite, drivers, jobs=jobs)
+        for key in keys:
+            driver, title = _STUDY_DRIVERS[key]
+            rows = run.rows[driver]
+            if not rows:
+                continue  # every benchmark of this driver failed
+            if driver == "figure7":
+                series = [c for c in rows[0] if c.startswith("cores_")]
+            elif driver == "table2":
+                print(format_table(rows, title=title, precision=4))
+                print()
+                continue
+            else:
+                series = _FIGURE_SERIES
+            rows = list(rows)
+            rows.insert(0, average_row(rows, series))
+            print(format_figure(rows, series, title=title))
             print()
-        if wanted in ("fig6", "all"):
-            rows = figure6(suite)
-            rows.insert(0, average_row(rows, _FIGURE_SERIES))
-            print(format_figure(rows, _FIGURE_SERIES, title="Figure 6"))
-            print()
-        if wanted in ("fig7", "all"):
-            rows = figure7(suite)
-            cores = [c for c in rows[0] if c.startswith("cores_")]
-            rows.insert(0, average_row(rows, cores))
-            print(format_figure(rows, cores, title="Figure 7"))
-            print()
-        if wanted in ("fig8", "all"):
-            rows = figure8(suite)
-            rows.insert(0, average_row(rows, _FIGURE_SERIES))
-            print(format_figure(rows, _FIGURE_SERIES, title="Figure 8"))
-            print()
-        if wanted in ("table2", "all"):
-            print(format_table(table2(suite), title="Table 2", precision=4))
-            print()
+        warnings = format_errors(run.errors)
+        if warnings:
+            print(warnings, file=sys.stderr)
     if wanted in ("astar", "all"):
         print(
             format_table(

@@ -38,6 +38,7 @@ from .complexity import (
     solve_partition,
     subset_sum_from_3sat,
 )
+from .fastsim import FastSimulator
 from .iar import DEFAULT_K, IARParams, IARResult, iar, iar_schedule
 from .interp_tier import interpreter_prelude, lift_schedule, with_interpreter_tier
 from .localsearch import SearchStats, improve_schedule
@@ -87,6 +88,7 @@ __all__ = [
     "simulate",
     "simulate_single_core",
     "iter_calls",
+    "FastSimulator",
     "MakespanResult",
     "TaskTiming",
     "CallTiming",

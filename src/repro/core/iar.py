@@ -37,7 +37,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from .makespan import iter_calls, simulate
+from .fastsim import FastSimulator
+from .makespan import iter_calls
 from .model import OCSPInstance
 from .schedule import CompileTask, Schedule
 
@@ -77,6 +78,15 @@ class IARParams:
             ``"remaining_calls"`` (the paper's choice),
             ``"benefit_rate"`` (saving per compile microsecond), or
             ``"compile_time"`` (cheapest first).
+        exact_slack: replace step 3's conservative slack test with
+            batch candidate scoring: every eligible upgrade is evaluated
+            individually on the incremental
+            :class:`~repro.core.fastsim.FastSimulator` engine and kept
+            only when it does not lengthen the make-span.  Costs one
+            suffix replay per candidate instead of one closed-form test,
+            but also captures the execution-side speed-up the
+            conservative test ignores.  Off by default (the paper's
+            algorithm).
     """
 
     k: float = DEFAULT_K
@@ -85,6 +95,7 @@ class IARParams:
     keep_better_after_slack: bool = True
     append_order: str = "compile_time"
     gap_priority: str = "remaining_calls"
+    exact_slack: bool = False
 
     def __post_init__(self) -> None:
         if self.append_order not in APPEND_ORDERS:
@@ -217,6 +228,10 @@ def iar(
     """
     infos = _function_infos(instance, high_levels)
     order = instance.called_functions  # first-appearance order
+    # One engine serves every trace pass and verification simulation in
+    # this run; its per-instance arrays (interned call sequence, cost
+    # rows) are built once instead of once per pass.
+    fs = FastSimulator(instance)
 
     # ------------------------------------------------------------ step 1
     init_tasks: List[CompileTask] = [
@@ -224,8 +239,8 @@ def iar(
     ]
     init_schedule = Schedule(tuple(init_tasks))
     t_init = sum(infos[fname].cl for fname in order)
-    _first, calls_during_init, _after, _end = _trace_stats(
-        instance, init_schedule, before_time=t_init
+    _first, calls_during_init, _after, _end = fs.trace_stats(
+        init_schedule, before_time=t_init
     )
 
     # ------------------------------------------------------------ step 2
@@ -257,12 +272,19 @@ def iar(
     # ------------------------------------------------------------ step 3
     refined: Optional[Tuple[Schedule, List[str]]] = None
     if params.refine_slack:
-        refined = _fill_slack(instance, infos, order, categories, schedule, params)
+        if params.exact_slack:
+            refined = _fill_slack_exact(instance, infos, order, schedule, fs)
+        else:
+            refined = _fill_slack(
+                instance, infos, order, categories, schedule, params, fs
+            )
 
     # ------------------------------------------------------------ step 4
     def _finish(sched: Schedule) -> Tuple[Schedule, List[str]]:
         if params.fill_gap:
-            return _fill_ending_gap(instance, infos, sched, params.gap_priority)
+            return _fill_ending_gap(
+                instance, infos, sched, params.gap_priority, fs
+            )
         return sched, []
 
     schedule, gap_appends = _finish(schedule)
@@ -273,8 +295,8 @@ def iar(
             # The conservative slack test ignores the execution-side
             # speed-up shifting calls earlier and its interaction with
             # step 4's gap capacity, so compare *finished* schedules.
-            base_span = simulate(instance, schedule, validate=False).makespan
-            cand_span = simulate(instance, cand_schedule, validate=False).makespan
+            base_span = fs.evaluate(schedule).makespan
+            cand_span = fs.evaluate(cand_schedule).makespan
             take_refined = cand_span <= base_span
         else:
             take_refined = True
@@ -330,6 +352,7 @@ def _fill_slack(
     categories: Dict[str, str],
     schedule: Schedule,
     params: IARParams,
+    fs: Optional[FastSimulator] = None,
 ) -> Optional[Tuple[Schedule, List[str]]]:
     """Step 3: upgrade initial low compiles where slack absorbs the cost.
 
@@ -343,7 +366,9 @@ def _fill_slack(
     against the unrefined one and keeps the better.
     """
     m = len(order)
-    first_start, _b, _a, _end = _trace_stats(instance, schedule)
+    if fs is None:
+        fs = FastSimulator(instance)
+    first_start, _b, _a, _end = fs.trace_stats(schedule)
 
     # Finish time of each initial compile (single compile thread).
     finish = 0.0
@@ -390,11 +415,56 @@ def _fill_slack(
     return Schedule(tuple(new_tasks)), upgraded
 
 
+def _fill_slack_exact(
+    instance: OCSPInstance,
+    infos: Dict[str, _FunctionInfo],
+    order: List[str],
+    schedule: Schedule,
+    fs: FastSimulator,
+) -> Optional[Tuple[Schedule, List[str]]]:
+    """Step 3 variant: score every slack-upgrade candidate exactly.
+
+    Instead of the closed-form suffix-min slack test, each eligible
+    initial compile is upgraded in turn and the resulting schedule is
+    scored on the incremental engine (one suffix replay per candidate —
+    the batch is evaluated against a shared, continually committed
+    baseline).  An upgrade is kept only when the make-span does not
+    grow, so the refined schedule is never worse than the input.
+    """
+    m = len(order)
+    current_span = fs.bind(schedule)
+    tasks = list(schedule.tasks)
+    upgraded: List[str] = []
+    for i, fname in enumerate(order):
+        info = infos[fname]
+        if info.high is None or tasks[i].level != info.low:
+            continue  # already high (R member) or nothing to upgrade to
+        if info.eh >= info.el:
+            continue
+        # Upgrade in place; drop any appended high recompile of the same
+        # function (it would now recompile at a non-increasing level).
+        candidate = [
+            t
+            for j, t in enumerate(tasks)
+            if j < m or t.function != fname
+        ]
+        candidate[i] = CompileTask(fname, info.high)
+        span = fs.propose(candidate, cutoff=current_span)
+        if span <= current_span:
+            current_span = fs.commit()
+            tasks = candidate
+            upgraded.append(fname)
+    if not upgraded:
+        return None
+    return Schedule(tuple(tasks)), upgraded
+
+
 def _fill_ending_gap(
     instance: OCSPInstance,
     infos: Dict[str, _FunctionInfo],
     schedule: Schedule,
     gap_priority: str = "remaining_calls",
+    fs: Optional[FastSimulator] = None,
 ) -> Tuple[Schedule, List[str]]:
     """Step 4: append high compiles into the compile/exec ending gap.
 
@@ -406,8 +476,10 @@ def _fill_ending_gap(
     add bubbles.
     """
     compile_end = schedule.total_compile_time(instance)
-    _first, _before, calls_after, exec_end = _trace_stats(
-        instance, schedule, after_time=compile_end
+    if fs is None:
+        fs = FastSimulator(instance)
+    _first, _before, calls_after, exec_end = fs.trace_stats(
+        schedule, after_time=compile_end
     )
     tgap = exec_end - compile_end
     if tgap <= 0:

@@ -40,6 +40,7 @@ __all__ = [
     "simulate",
     "simulate_single_core",
     "iter_calls",
+    "validate_for_simulation",
 ]
 
 
@@ -95,6 +96,37 @@ class MakespanResult:
     @property
     def exec_end(self) -> float:
         return self.makespan
+
+
+def validate_for_simulation(
+    instance: OCSPInstance,
+    schedule: Schedule,
+    preinstalled: Optional[Dict[str, int]] = None,
+) -> None:
+    """Validate ``schedule`` for simulation, honouring ``preinstalled``.
+
+    Without preinstalled code this is :meth:`Schedule.validate`.  With
+    it, the coverage requirement relaxes: a preinstalled function needs
+    no compile task (its code exists from t = 0), while the per-task
+    level/monotonicity checks still apply to every task.
+
+    Raises:
+        ScheduleError: if the schedule cannot legally drive the instance.
+    """
+    if not preinstalled:
+        schedule.validate(instance)
+        return
+    covered = set(preinstalled)
+    missing = [f for f in instance.called_functions if f not in covered]
+    # Delegate per-task checks to the standard validator on a reduced
+    # requirement: every *non-preinstalled* called function must still
+    # be compiled.
+    reduced = OCSPInstance(
+        profiles=instance.profiles,
+        calls=tuple(f for f in instance.calls if f in missing),
+        name=instance.name,
+    )
+    schedule.validate(reduced)
 
 
 def _compile_task_finishes(
@@ -174,22 +206,7 @@ def simulate(
                 f"preinstalled level {level} invalid for {fname!r}"
             )
     if validate:
-        if preinstalled:
-            covered = set(preinstalled)
-            missing = [
-                f for f in instance.called_functions if f not in covered
-            ]
-            # Delegate per-task checks to the standard validator on a
-            # reduced requirement: every *non-preinstalled* called
-            # function must still be compiled.
-            reduced = OCSPInstance(
-                profiles=instance.profiles,
-                calls=tuple(f for f in instance.calls if f in missing),
-                name=instance.name,
-            )
-            schedule.validate(reduced)
-        else:
-            schedule.validate(instance)
+        validate_for_simulation(instance, schedule, preinstalled)
 
     starts, finishes, threads_used = _compile_task_finishes(
         instance, schedule, compile_threads

@@ -1,0 +1,168 @@
+"""Paper invariants the engines must never violate.
+
+Two families:
+
+* **Theorem 1 (Section 4.1)** — on a single core, compiling each
+  function once at its most cost-effective level is optimal, and the
+  on-demand order achieves the optimum.  We check the closed form
+  against a brute-force enumeration of every per-function level chain.
+* **Lower-bound soundness** — the Section 5.2 lower bound never exceeds
+  the make-span of any valid schedule, in particular IAR's.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Dict, List, Tuple
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    CompileTask,
+    FunctionProfile,
+    OCSPInstance,
+    Schedule,
+    iar_schedule,
+    lower_bound,
+    optimal_schedule,
+    simulate,
+    simulate_single_core,
+)
+from repro.core.singlecore import (
+    most_cost_effective_levels,
+    single_core_optimal_makespan,
+    single_core_optimal_schedule,
+)
+
+times = st.floats(min_value=0.1, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def profiles_strategy(draw, max_functions=3, max_levels=3):
+    n_funcs = draw(st.integers(min_value=1, max_value=max_functions))
+    profiles: Dict[str, FunctionProfile] = {}
+    for i in range(n_funcs):
+        n_levels = draw(st.integers(min_value=1, max_value=max_levels))
+        compile_times = sorted(
+            draw(st.lists(times, min_size=n_levels, max_size=n_levels))
+        )
+        exec_times = sorted(
+            draw(st.lists(times, min_size=n_levels, max_size=n_levels)),
+            reverse=True,
+        )
+        name = f"f{i}"
+        profiles[name] = FunctionProfile(name, tuple(compile_times), tuple(exec_times))
+    return profiles
+
+
+@st.composite
+def instances(draw, max_functions=3, max_levels=3, max_calls=10):
+    profiles = draw(profiles_strategy(max_functions, max_levels))
+    names = sorted(profiles)
+    calls = draw(st.lists(st.sampled_from(names), min_size=1, max_size=max_calls))
+    return OCSPInstance(profiles, tuple(calls), name="inv")
+
+
+def _level_chains(num_levels: int) -> List[Tuple[int, ...]]:
+    """Every non-empty strictly increasing level subsequence."""
+    chains: List[Tuple[int, ...]] = []
+    for size in range(1, num_levels + 1):
+        chains.extend(combinations(range(num_levels), size))
+    return chains
+
+
+def _single_core_bruteforce(instance: OCSPInstance) -> float:
+    """Minimum single-core make-span over *all* per-function chains.
+
+    On one core the interleaving does not matter (simulate_single_core
+    already assumes the optimal one), so enumerating chain choices
+    covers every schedule.
+    """
+    functions = instance.called_functions
+    options = [
+        _level_chains(instance.profiles[fname].num_levels) for fname in functions
+    ]
+    best = float("inf")
+    for choice in product(*options):
+        tasks = [
+            CompileTask(fname, lvl)
+            for fname, chain in zip(functions, choice)
+            for lvl in chain
+        ]
+        span = simulate_single_core(instance, Schedule(tuple(tasks))).makespan
+        best = min(best, span)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(instances())
+def test_theorem1_closed_form_is_bruteforce_optimal(instance):
+    closed_form = single_core_optimal_makespan(instance)
+    brute = _single_core_bruteforce(instance)
+    assert closed_form == pytest.approx(brute, rel=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(instances())
+def test_theorem1_on_demand_order_achieves_the_optimum(instance):
+    """Any order of the most-cost-effective compiles is optimal; the
+    schedule helper uses the on-demand (first-appearance) order."""
+    schedule = single_core_optimal_schedule(instance)
+    # one task per called function, at its most cost-effective level,
+    # in first-appearance (on-demand) order
+    levels = most_cost_effective_levels(instance)
+    assert tuple(schedule) == tuple(
+        CompileTask(fname, levels[fname]) for fname in instance.called_functions
+    )
+    achieved = simulate_single_core(instance, schedule).makespan
+    assert achieved == pytest.approx(single_core_optimal_makespan(instance), rel=1e-12)
+
+
+def test_theorem1_recompilation_never_helps_on_one_core():
+    """A hand-built case where dual-core loves the recompile but the
+    single-core optimum compiles exactly once."""
+    prof = {
+        "hot": FunctionProfile("hot", (1.0, 20.0), (5.0, 1.0)),
+        "cold": FunctionProfile("cold", (1.0, 30.0), (2.0, 1.9)),
+    }
+    inst = OCSPInstance(prof, ("hot",) * 10 + ("cold",), name="recompile")
+    schedule = single_core_optimal_schedule(inst)
+    # hot: 20 + 10*1 = 30 beats 1 + 10*5 = 51 -> level 1;
+    # cold: 1 + 2 = 3 beats 30 + 1.9 -> level 0.
+    assert {t.function: t.level for t in schedule} == {"hot": 1, "cold": 0}
+    assert single_core_optimal_makespan(inst) == pytest.approx(30.0 + 3.0)
+    assert _single_core_bruteforce(inst) == pytest.approx(33.0)
+
+
+# ---------------------------------------------------------------------------
+# lower-bound soundness
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(instances(max_functions=4, max_levels=3, max_calls=12))
+def test_lower_bound_below_iar_makespan(instance):
+    schedule = iar_schedule(instance)
+    result = simulate(instance, schedule)
+    assert lower_bound(instance) <= result.makespan + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances(max_functions=2, max_levels=2, max_calls=6))
+def test_lower_bound_below_true_optimum(instance):
+    best = optimal_schedule(instance)
+    assert lower_bound(instance) <= best.makespan + 1e-9
+
+
+def test_iar_within_bruteforce_on_paper_example(fig2_instance):
+    """IAR's make-span is bracketed by the bound and the enumerated
+    optimum on the Figure 2 instance."""
+    best = optimal_schedule(fig2_instance)
+    iar_span = simulate(fig2_instance, iar_schedule(fig2_instance)).makespan
+    assert lower_bound(fig2_instance) <= best.makespan <= iar_span
