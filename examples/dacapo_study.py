@@ -43,7 +43,7 @@ def main() -> None:
         ("Figure 6 — oracle cost-benefit model", figure6),
     ):
         rows = driver(suite)
-        rows.insert(0, average_row(rows, SERIES))
+        rows.insert(0, average_row(rows, SERIES, mean="geo"))
         print(format_figure(rows, SERIES, title=title))
         print()
 
@@ -54,7 +54,7 @@ def main() -> None:
     print()
 
     rows8 = figure8(suite)
-    rows8.insert(0, average_row(rows8, SERIES))
+    rows8.insert(0, average_row(rows8, SERIES, mean="geo"))
     print(format_figure(rows8, SERIES, title="Figure 8 — V8 scheme (two levels)"))
     print()
 

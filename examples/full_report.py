@@ -55,7 +55,7 @@ def main() -> None:
     ):
         print(f"running {name} ...")
         rows = driver(suite)
-        rows.insert(0, average_row(rows, SERIES))
+        rows.insert(0, average_row(rows, SERIES, mean="geo"))
         emit(name, rows, title, series=SERIES)
 
     print("running fig7 ...")
@@ -66,7 +66,7 @@ def main() -> None:
 
     print("running fig8 ...")
     rows8 = figure8(suite)
-    rows8.insert(0, average_row(rows8, SERIES))
+    rows8.insert(0, average_row(rows8, SERIES, mean="geo"))
     emit("fig8", rows8, "Figure 8 — V8 scheme", series=SERIES)
 
     print("running table2 ...")

@@ -16,7 +16,10 @@ The package is organized as:
 * :mod:`repro.workloads` — synthetic trace generation, including the
   nine DaCapo-2006-calibrated benchmark presets of the paper's Table 1;
 * :mod:`repro.analysis` — experiment drivers and reporting for every
-  table and figure in the paper's evaluation.
+  table and figure in the paper's evaluation;
+* :mod:`repro.observability` — zero-dependency trace events and
+  metrics: record any engine's run on a virtual-time timeline and
+  export it as a Chrome/Perfetto trace file.
 
 Quickstart::
 
@@ -28,7 +31,7 @@ Quickstart::
     print(result.makespan, core.lower_bound(inst))
 """
 
-from . import analysis, core, jitsim, vm, workloads
+from . import analysis, core, jitsim, observability, vm, workloads
 from .core import (
     CompileTask,
     FunctionProfile,
@@ -48,6 +51,7 @@ __all__ = [
     "jitsim",
     "workloads",
     "analysis",
+    "observability",
     "FunctionProfile",
     "OCSPInstance",
     "Schedule",

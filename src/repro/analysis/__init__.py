@@ -6,7 +6,7 @@
 """
 
 from . import diagnose as diagnose_module, experiments, metrics, reporting
-from .diagnose import GapDiagnosis, diagnose
+from .diagnose import FunctionGap, GapDiagnosis, IntervalGap, diagnose
 from .export import rows_to_csv, save_csv
 from .sensitivity import sweep_parameter
 from .experiments import (
@@ -29,13 +29,16 @@ from .reporting import (
     format_figure,
     format_table,
     format_timeline,
+    format_trace_summary,
     render_rows,
 )
 
 __all__ = [
     "metrics",
     "diagnose",
+    "FunctionGap",
     "GapDiagnosis",
+    "IntervalGap",
     "rows_to_csv",
     "save_csv",
     "sweep_parameter",
@@ -58,5 +61,6 @@ __all__ = [
     "format_table",
     "format_figure",
     "format_timeline",
+    "format_trace_summary",
     "render_rows",
 ]

@@ -26,14 +26,14 @@ their efforts appropriately."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.bounds import lower_bound
 from ..core.makespan import iter_calls
 from ..core.model import OCSPInstance
 from ..core.schedule import Schedule
 
-__all__ = ["GapDiagnosis", "FunctionGap", "diagnose"]
+__all__ = ["GapDiagnosis", "FunctionGap", "IntervalGap", "diagnose"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +62,42 @@ class FunctionGap:
 
 
 @dataclass(frozen=True)
+class IntervalGap:
+    """Gap contribution of one timeline interval.
+
+    The decomposition attributes each call's bubble and level excess to
+    the interval containing the call's *start* time, so the per-interval
+    values sum exactly to the run totals.
+
+    Attributes:
+        index: interval number (0-based).
+        start: interval left edge (inclusive).
+        end: interval right edge (exclusive; the last interval also
+            includes the make-span instant).
+        calls: invocations starting in the interval.
+        bubbles: waiting time of those calls.
+        excess_before_upgrade: timing-induced slowdown of those calls.
+        excess_never_upgraded: policy-induced slowdown of those calls.
+    """
+
+    index: int
+    start: float
+    end: float
+    calls: int
+    bubbles: float
+    excess_before_upgrade: float
+    excess_never_upgraded: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.bubbles
+            + self.excess_before_upgrade
+            + self.excess_never_upgraded
+        )
+
+
+@dataclass(frozen=True)
 class GapDiagnosis:
     """Full decomposition of a schedule's distance from the lower bound.
 
@@ -72,6 +108,9 @@ class GapDiagnosis:
         excess_before_upgrade: total timing-induced slowdown.
         excess_never_upgraded: total policy-induced slowdown.
         per_function: the same split per function, worst offenders first.
+        per_interval: the same split over equal timeline slices (empty
+            unless :func:`diagnose` was called with ``intervals > 0``) —
+            the *when* to ``per_function``'s *who*.
     """
 
     makespan: float
@@ -80,6 +119,7 @@ class GapDiagnosis:
     excess_before_upgrade: float
     excess_never_upgraded: float
     per_function: Tuple[FunctionGap, ...]
+    per_interval: Tuple[IntervalGap, ...] = ()
 
     @property
     def gap(self) -> float:
@@ -111,17 +151,42 @@ class GapDiagnosis:
             )
         return out
 
+    def interval_rows(self) -> List[Dict[str, object]]:
+        """Reporting-friendly per-interval rows (empty without
+        ``intervals``)."""
+        out: List[Dict[str, object]] = []
+        for item in self.per_interval:
+            out.append(
+                {
+                    "interval": f"[{item.start:.0f}, {item.end:.0f})",
+                    "calls": item.calls,
+                    "bubbles": item.bubbles,
+                    "before_upgrade": item.excess_before_upgrade,
+                    "never_upgraded": item.excess_never_upgraded,
+                    "share_of_gap": item.total / self.gap if self.gap > 0 else 0.0,
+                }
+            )
+        return out
+
 
 def diagnose(
-    instance: OCSPInstance, schedule: Schedule, compile_threads: int = 1
+    instance: OCSPInstance,
+    schedule: Schedule,
+    compile_threads: int = 1,
+    intervals: int = 0,
 ) -> GapDiagnosis:
     """Decompose ``schedule``'s gap above the lower bound.
 
-    One streaming pass; O(N) time, O(M) memory.
+    One streaming pass; O(N) time, O(M) memory — unless ``intervals >
+    0``, which buffers one record per call to also attribute the gap to
+    ``intervals`` equal slices of the timeline (``per_interval``).
 
     Raises:
         ScheduleError: if the schedule is invalid for the instance.
+        ValueError: if ``intervals`` is negative.
     """
+    if intervals < 0:
+        raise ValueError(f"intervals must be >= 0, got {intervals}")
     schedule.validate(instance)
     profiles = instance.profiles
     highest_scheduled: Dict[str, int] = {}
@@ -135,8 +200,13 @@ def diagnose(
     never_upgraded: Dict[str, float] = {}
     counts: Dict[str, int] = {}
     makespan = 0.0
+    # (start, bubble, before_excess, never_excess) per call — only
+    # buffered when interval attribution was requested.
+    call_records: Optional[List[Tuple[float, float, float, float]]] = (
+        [] if intervals > 0 else None
+    )
 
-    for fname, level, _start, finish, bubble in iter_calls(
+    for fname, level, start, finish, bubble in iter_calls(
         instance, schedule, compile_threads=compile_threads
     ):
         prof = profiles[fname]
@@ -144,12 +214,43 @@ def diagnose(
         if bubble > 0:
             bubbles[fname] = bubbles.get(fname, 0.0) + bubble
         excess = prof.exec_times[level] - prof.exec_times[-1]
+        before = never = 0.0
         if excess > 0:
             if level < highest_scheduled[fname]:
                 before_upgrade[fname] = before_upgrade.get(fname, 0.0) + excess
+                before = excess
             else:
                 never_upgraded[fname] = never_upgraded.get(fname, 0.0) + excess
+                never = excess
         makespan = finish
+        if call_records is not None:
+            call_records.append((start, bubble, before, never))
+
+    per_interval: Tuple[IntervalGap, ...] = ()
+    if call_records is not None:
+        width = makespan / intervals if makespan > 0 else 1.0
+        acc = [[0, 0.0, 0.0, 0.0] for _ in range(intervals)]
+        for start, bubble, before, never in call_records:
+            slot = int(start / width)
+            if slot >= intervals:  # the call starting exactly at makespan
+                slot = intervals - 1
+            bucket = acc[slot]
+            bucket[0] += 1
+            bucket[1] += bubble
+            bucket[2] += before
+            bucket[3] += never
+        per_interval = tuple(
+            IntervalGap(
+                index=i,
+                start=i * width,
+                end=(i + 1) * width,
+                calls=bucket[0],
+                bubbles=bucket[1],
+                excess_before_upgrade=bucket[2],
+                excess_never_upgraded=bucket[3],
+            )
+            for i, bucket in enumerate(acc)
+        )
 
     per_function = [
         FunctionGap(
@@ -170,4 +271,5 @@ def diagnose(
         excess_before_upgrade=sum(before_upgrade.values()),
         excess_never_upgraded=sum(never_upgraded.values()),
         per_function=tuple(per_function),
+        per_interval=per_interval,
     )

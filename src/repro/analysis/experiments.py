@@ -97,6 +97,7 @@ def scheme_comparison(
     model_factory=EstimatedModel,
     compile_threads: int = 1,
     iar_params: IARParams = IARParams(),
+    tracer=None,
 ) -> Dict[str, float]:
     """Normalized make-span of every scheme on one benchmark.
 
@@ -113,6 +114,10 @@ def scheme_comparison(
             for Figure 6).
         compile_threads: compiler threads for the schedule simulations.
         iar_params: IAR knobs.
+        tracer: optional :class:`repro.observability.Tracer`; each
+            scheme's run lands in its own process group (``iar``,
+            ``jikes``, ``base_level``, ``optimizing_level``) so one
+            trace file shows the four timelines side by side.
     """
     model = model_factory(instance)
     projected = project_to_model_levels(instance, model)
@@ -122,13 +127,18 @@ def scheme_comparison(
         for fname in projected.called_functions
     }
 
+    def scoped(process: str):
+        return None if tracer is None else tracer.scope(process)
+
     iar_sched = iar(projected, iar_params, high_levels=high).schedule
     iar_result = simulate(
-        projected, iar_sched, compile_threads=compile_threads, validate=False
+        projected, iar_sched, compile_threads=compile_threads, validate=False,
+        tracer=scoped("iar"),
     )
 
     default_result = run_jikes(
-        projected, model=model_factory(projected), compile_threads=compile_threads
+        projected, model=model_factory(projected),
+        compile_threads=compile_threads, tracer=scoped("jikes"),
     )
 
     base_result = simulate(
@@ -136,6 +146,7 @@ def scheme_comparison(
         base_level_schedule(projected),
         compile_threads=compile_threads,
         validate=False,
+        tracer=scoped("base_level"),
     )
 
     opt_result = simulate(
@@ -143,6 +154,7 @@ def scheme_comparison(
         optimizing_level_schedule(projected, levels=high),
         compile_threads=compile_threads,
         validate=False,
+        tracer=scoped("optimizing_level"),
     )
 
     return {
@@ -154,34 +166,73 @@ def scheme_comparison(
     }
 
 
+def _trace_into(trace_dir: str, label: str, name: str):
+    """A fresh tracer whose events will be written to
+    ``{trace_dir}/{label}-{name}.trace.json`` by :func:`_write_trace`."""
+    from ..observability import Tracer
+
+    os.makedirs(trace_dir, exist_ok=True)
+    return Tracer()
+
+
+def _write_trace(tracer, trace_dir: str, label: str, name: str) -> None:
+    from ..observability import write_chrome_trace
+
+    path = os.path.join(trace_dir, f"{label}-{name}.trace.json")
+    write_chrome_trace(tracer, path)
+
+
 def _figure_rows(
-    suite: Suite, model_factory, compile_threads: int = 1
+    suite: Suite,
+    model_factory,
+    compile_threads: int = 1,
+    trace_dir: Optional[str] = None,
+    label: str = "figure",
 ) -> List[Dict[str, object]]:
     rows: List[Dict[str, object]] = []
     for name, instance in suite.items():
+        tracer = (
+            _trace_into(trace_dir, label, name) if trace_dir is not None else None
+        )
         row: Dict[str, object] = {"benchmark": name}
         row.update(
             scheme_comparison(
                 instance,
                 model_factory=model_factory,
                 compile_threads=compile_threads,
+                tracer=tracer,
             )
         )
+        if tracer is not None:
+            _write_trace(tracer, trace_dir, label, name)
         rows.append(row)
     return rows
 
 
-def figure5(suite: Suite, model_seed: int = 0) -> List[Dict[str, object]]:
+def figure5(
+    suite: Suite, model_seed: int = 0, trace_dir: Optional[str] = None
+) -> List[Dict[str, object]]:
     """Figure 5: normalized make-spans under the default (estimated)
-    cost-benefit model."""
+    cost-benefit model.
+
+    With ``trace_dir``, each benchmark's four scheme runs are dumped as
+    ``figure5-<benchmark>.trace.json`` Chrome trace files.
+    """
     return _figure_rows(
-        suite, lambda inst: EstimatedModel(inst, seed=model_seed)
+        suite,
+        lambda inst: EstimatedModel(inst, seed=model_seed),
+        trace_dir=trace_dir,
+        label="figure5",
     )
 
 
-def figure6(suite: Suite) -> List[Dict[str, object]]:
+def figure6(
+    suite: Suite, trace_dir: Optional[str] = None
+) -> List[Dict[str, object]]:
     """Figure 6: normalized make-spans under the oracle model."""
-    return _figure_rows(suite, OracleModel)
+    return _figure_rows(
+        suite, OracleModel, trace_dir=trace_dir, label="figure6"
+    )
 
 
 def figure7(
@@ -211,7 +262,9 @@ def figure7(
     return rows
 
 
-def figure8(suite: Suite, levels=(0, 1)) -> List[Dict[str, object]]:
+def figure8(
+    suite: Suite, levels=(0, 1), trace_dir: Optional[str] = None
+) -> List[Dict[str, object]]:
     """Figure 8: the V8 scheme, on two-level projections of the suite.
 
     The paper uses the lowest two Jikes levels as V8's low/high pair;
@@ -221,19 +274,34 @@ def figure8(suite: Suite, levels=(0, 1)) -> List[Dict[str, object]]:
     low, high = levels
     rows: List[Dict[str, object]] = []
     for name, instance in suite.items():
+        tracer = (
+            _trace_into(trace_dir, "figure8", name)
+            if trace_dir is not None
+            else None
+        )
+
+        def scoped(process: str):
+            return None if tracer is None else tracer.scope(process)
+
         projected = instance.restricted_to_levels(
             {fname: [low, high] for fname in instance.profiles}
         )
         lb = lower_bound(projected)
-        v8_result = run_v8(projected, levels=(0, 1))
+        v8_result = run_v8(projected, levels=(0, 1), tracer=scoped("v8"))
         iar_sched = iar(projected).schedule
-        iar_result = simulate(projected, iar_sched, validate=False)
+        iar_result = simulate(
+            projected, iar_sched, validate=False, tracer=scoped("iar")
+        )
         base_result = simulate(
-            projected, base_level_schedule(projected), validate=False
+            projected, base_level_schedule(projected), validate=False,
+            tracer=scoped("base_level"),
         )
         opt_result = simulate(
-            projected, optimizing_level_schedule(projected), validate=False
+            projected, optimizing_level_schedule(projected), validate=False,
+            tracer=scoped("optimizing_level"),
         )
+        if tracer is not None:
+            _write_trace(tracer, trace_dir, "figure8", name)
         rows.append(
             {
                 "benchmark": name,
@@ -533,15 +601,31 @@ def run_parallel(
 
 
 def average_row(
-    rows: List[Dict[str, object]], keys: Iterable[str]
+    rows: List[Dict[str, object]], keys: Iterable[str], mean: str = "arith"
 ) -> Dict[str, object]:
     """Append-style 'average' row over the numeric ``keys``.
 
     The paper's figures lead with an *average* group; drivers return
     per-benchmark rows and this helper computes that group.
+
+    Args:
+        rows: per-benchmark rows.
+        keys: numeric columns to aggregate.
+        mean: ``"arith"`` (plain average — raw times, speed-up factors)
+            or ``"geo"`` (geometric mean — the correct aggregate for
+            *normalized* make-spans: ratios multiply, so averaging them
+            arithmetically overweights the slow benchmarks).
+
+    Raises:
+        ValueError: for an unknown ``mean``.
     """
+    if mean not in ("arith", "geo"):
+        raise ValueError(f"mean must be 'arith' or 'geo', got {mean!r}")
+    aggregate = (
+        metrics.geometric_mean if mean == "geo" else metrics.arithmetic_mean
+    )
     out: Dict[str, object] = {"benchmark": "average"}
     for key in keys:
         values = [float(row[key]) for row in rows if row.get(key) is not None]
-        out[key] = metrics.arithmetic_mean(values) if values else None
+        out[key] = aggregate(values) if values else None
     return out

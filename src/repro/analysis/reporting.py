@@ -13,6 +13,7 @@ __all__ = [
     "format_figure",
     "render_rows",
     "format_timeline",
+    "format_trace_summary",
     "format_errors",
 ]
 
@@ -111,6 +112,60 @@ def format_timeline(result, precision: int = 1) -> str:
         )
     lines.append(f"make-span: {result.makespan:.{precision}f}")
     return "\n".join(lines)
+
+
+def format_trace_summary(tracer, precision: int = 3) -> str:
+    """Per-track digest of a recorded trace.
+
+    One row per track: span/instant/counter counts, total busy time
+    (summed span durations), and utilization relative to the trace's
+    overall time extent; a totals footer closes the table.
+
+    Args:
+        tracer: a :class:`repro.observability.Tracer` (or scope), or any
+            iterable of :class:`~repro.observability.TraceEvent`.
+        precision: decimal places for times.
+    """
+    events = getattr(tracer, "events", tracer)
+    per_track: Dict[str, List[float]] = {}
+    t_end = 0.0
+    for event in events:
+        row = per_track.setdefault(event.track, [0, 0, 0, 0.0])
+        if event.kind == "span":
+            row[0] += 1
+            row[3] += event.end - event.start
+        elif event.kind == "instant":
+            row[1] += 1
+        else:
+            row[2] += 1
+        if event.end > t_end:
+            t_end = event.end
+    if not per_track:
+        return "(no trace events)"
+    rows = []
+    for track in sorted(per_track):
+        spans, instants, counters, busy = per_track[track]
+        rows.append(
+            {
+                "track": track,
+                "spans": spans,
+                "instants": instants,
+                "counters": counters,
+                "busy": busy,
+                "utilization": busy / t_end if t_end > 0 else 0.0,
+            }
+        )
+    table = format_table(
+        rows,
+        columns=["track", "spans", "instants", "counters", "busy", "utilization"],
+        precision=precision,
+    )
+    total_events = sum(r[0] + r[1] + r[2] for r in per_track.values())
+    return (
+        f"{table}\n"
+        f"{total_events} events on {len(per_track)} tracks, "
+        f"trace end {t_end:.{precision}f}"
+    )
 
 
 def format_errors(errors: Sequence[Dict[str, str]]) -> str:

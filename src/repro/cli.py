@@ -9,6 +9,8 @@ Subcommands mirror the library's workflow:
 * ``evaluate`` — simulate a schedule against a trace (make-span,
   bubbles, normalized gap);
 * ``diagnose`` — decompose a schedule's gap above the lower bound;
+* ``trace`` — record a scheme's run as a Chrome trace-event JSON file
+  (open it at https://ui.perfetto.dev or ``chrome://tracing``);
 * ``study`` — regenerate the paper's tables and figures;
 * ``walkthrough`` — the Figures 1–2 worked example.
 
@@ -106,6 +108,27 @@ def build_parser() -> argparse.ArgumentParser:
     diag.add_argument("trace")
     diag.add_argument("schedule")
     diag.add_argument("--top", type=int, default=10)
+    diag.add_argument(
+        "--intervals",
+        type=int,
+        default=0,
+        help="also attribute the gap to N equal timeline slices",
+    )
+
+    tr = sub.add_parser(
+        "trace", help="record a scheme's run as a Chrome trace file"
+    )
+    tr.add_argument("benchmark", choices=sorted(dacapo.BENCHMARKS))
+    tr.add_argument(
+        "--scheme", choices=["iar", "jikes", "v8"], default="iar"
+    )
+    tr.add_argument("--scale", type=float, default=0.01)
+    tr.add_argument("--seed", type=int, default=None)
+    tr.add_argument("--threads", type=int, default=1)
+    tr.add_argument(
+        "--format", choices=["chrome", "jsonl"], default="chrome"
+    )
+    tr.add_argument("-o", "--out", required=True)
 
     study = sub.add_parser("study", help="regenerate the paper's evaluation")
     study.add_argument("--scale", type=float, default=0.01)
@@ -122,6 +145,14 @@ def build_parser() -> argparse.ArgumentParser:
             "worker processes for the figure/table drivers (benchmarks fan "
             "out per process; results are identical to --jobs 1); "
             "0 = one per CPU"
+        ),
+    )
+    study.add_argument(
+        "--trace-dir",
+        default=None,
+        help=(
+            "also dump a Chrome trace file per benchmark for the "
+            "figure 5/6/8 runs into this directory"
         ),
     )
 
@@ -181,13 +212,50 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     instance = traces.load(args.trace)
     schedule = traces.load_schedule(args.schedule)
-    report = diagnose(instance, schedule)
+    report = diagnose(instance, schedule, intervals=args.intervals)
     print(f"make-span {report.makespan:.1f} = lower bound {report.lower_bound:.1f}"
           f" + bubbles {report.bubbles:.1f}"
           f" + pre-upgrade excess {report.excess_before_upgrade:.1f}"
           f" + never-upgraded excess {report.excess_never_upgraded:.1f}")
     print()
     print(format_table(report.rows(args.top), title="worst offenders"))
+    if report.per_interval:
+        print()
+        print(format_table(report.interval_rows(), title="gap by interval"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .analysis import format_trace_summary
+    from .observability import Tracer, write_chrome_trace, write_jsonl
+
+    instance = dacapo.load(args.benchmark, scale=args.scale, seed=args.seed)
+    tracer = Tracer()
+    if args.scheme == "iar":
+        schedule = iar_schedule(instance)
+        result = simulate(
+            instance,
+            schedule,
+            compile_threads=args.threads,
+            validate=False,
+            tracer=tracer,
+        )
+        makespan = result.makespan
+    elif args.scheme == "jikes":
+        makespan = run_jikes(
+            instance, compile_threads=args.threads, tracer=tracer
+        ).makespan
+    else:  # v8
+        makespan = run_v8(
+            instance, compile_threads=args.threads, tracer=tracer
+        ).makespan
+    if args.format == "chrome":
+        count = write_chrome_trace(tracer, args.out)
+    else:
+        count = write_jsonl(tracer, args.out)
+    print(format_trace_summary(tracer))
+    print(f"make-span: {makespan:.1f}")
+    print(f"wrote {args.out}: {count} events ({args.format})")
     return 0
 
 
@@ -210,22 +278,33 @@ def _cmd_study(args: argparse.Namespace) -> int:
         suite = dacapo.load_suite(scale=args.scale)
         keys = list(_STUDY_DRIVERS) if wanted == "all" else [wanted]
         drivers = [_STUDY_DRIVERS[key][0] for key in keys]
-        run = run_parallel(suite, drivers, jobs=jobs)
+        driver_kwargs = {}
+        if args.trace_dir is not None:
+            driver_kwargs = {
+                name: {"trace_dir": args.trace_dir}
+                for name in ("figure5", "figure6", "figure8")
+                if name in drivers
+            }
+        run = run_parallel(suite, drivers, jobs=jobs, driver_kwargs=driver_kwargs)
         for key in keys:
             driver, title = _STUDY_DRIVERS[key]
             rows = run.rows[driver]
             if not rows:
                 continue  # every benchmark of this driver failed
             if driver == "figure7":
+                # Speed-up factors: a plain average is the convention.
                 series = [c for c in rows[0] if c.startswith("cores_")]
+                mean = "arith"
             elif driver == "table2":
                 print(format_table(rows, title=title, precision=4))
                 print()
                 continue
             else:
+                # Normalized make-spans are ratios: geometric mean.
                 series = _FIGURE_SERIES
+                mean = "geo"
             rows = list(rows)
-            rows.insert(0, average_row(rows, series))
+            rows.insert(0, average_row(rows, series, mean=mean))
             print(format_figure(rows, series, title=title))
             print()
         warnings = format_errors(run.errors)
@@ -295,6 +374,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "schedule": _cmd_schedule,
         "evaluate": _cmd_evaluate,
         "diagnose": _cmd_diagnose,
+        "trace": _cmd_trace,
         "study": _cmd_study,
         "import-trace": _cmd_import_trace,
         "walkthrough": _cmd_walkthrough,

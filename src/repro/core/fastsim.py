@@ -187,13 +187,24 @@ class FastSimulator:
         tasks = getattr(schedule, "tasks", schedule)
         return tuple(tasks)
 
-    def _prepare(self, schedule: TaskSeq) -> _Prep:
+    def _prepare(
+        self,
+        schedule: TaskSeq,
+        release_times: Optional[Sequence[float]] = None,
+    ) -> _Prep:
         """Compute task timings and per-function event lists: ``O(S)``.
 
         Replicates the reference FIFO thread assignment bit-for-bit
-        (ties broken by thread id) so finish times are identical.
+        (ties broken by thread id) so finish times are identical.  With
+        ``release_times``, task ``i`` cannot start before
+        ``release_times[i]`` (see :func:`~repro.core.makespan.simulate`).
         """
         tasks = self._as_tasks(schedule)
+        if release_times is not None and len(release_times) != len(tasks):
+            raise ValueError(
+                f"release_times has {len(release_times)} entries for "
+                f"{len(tasks)} tasks"
+            )
         prep = _Prep()
         prep.tasks = tasks
         fid_of = self._fid_of
@@ -203,8 +214,12 @@ class FastSimulator:
         threads = prep.threads
         if self._compile_threads == 1:
             t = 0.0
-            for task in tasks:
+            for i, task in enumerate(tasks):
                 c = compile_rows[fid_of[task.function]][task.level]
+                if release_times is not None:
+                    rel = release_times[i]
+                    if t < rel:
+                        t = rel
                 starts.append(t)
                 t += c
                 finishes.append(t)
@@ -212,9 +227,13 @@ class FastSimulator:
         else:
             free_at = [(0.0, tid) for tid in range(self._compile_threads)]
             heapq.heapify(free_at)
-            for task in tasks:
+            for i, task in enumerate(tasks):
                 c = compile_rows[fid_of[task.function]][task.level]
                 start, tid = heapq.heappop(free_at)
+                if release_times is not None:
+                    rel = release_times[i]
+                    if start < rel:
+                        start = rel
                 starts.append(start)
                 finishes.append(start + c)
                 threads.append(tid)
@@ -484,19 +503,38 @@ class FastSimulator:
         schedule: TaskSeq,
         record_timeline: bool = False,
         validate: bool = False,
+        release_times: Optional[Sequence[float]] = None,
+        tracer=None,
     ) -> MakespanResult:
         """Evaluate ``schedule`` from scratch; exact :func:`simulate` twin.
 
         Unlike the reference, validation defaults to off — the engine is
         built for tight loops whose callers guarantee validity.
+        ``release_times`` and ``tracer`` mirror
+        :func:`~repro.core.makespan.simulate`; tracing never changes the
+        numbers.
         """
-        prep = self._prepare(schedule)
+        prep = self._prepare(schedule, release_times)
         if validate:
             validate_for_simulation(
                 self._instance, Schedule(prep.tasks), self._preinstalled
             )
         arrays = self._replay(prep, 0, 0.0, 0.0, 0.0)
-        return self._assemble(prep, arrays, record_timeline)
+        if tracer is None:
+            return self._assemble(prep, arrays, record_timeline)
+        from repro.observability.instrument import trace_makespan_result
+
+        result = self._assemble(prep, arrays, True)
+        trace_makespan_result(tracer, result)
+        if record_timeline:
+            return result
+        return MakespanResult(
+            makespan=result.makespan,
+            compile_end=result.compile_end,
+            total_bubble_time=result.total_bubble_time,
+            total_exec_time=result.total_exec_time,
+            calls_at_level=result.calls_at_level,
+        )
 
     def _assemble(
         self, prep: _Prep, arrays, record_timeline: bool

@@ -216,6 +216,7 @@ def iar(
     instance: OCSPInstance,
     params: IARParams = IARParams(),
     high_levels: Optional[Mapping[str, int]] = None,
+    metrics=None,
 ) -> IARResult:
     """Run the IAR algorithm and return the schedule with diagnostics.
 
@@ -225,6 +226,12 @@ def iar(
         high_levels: optional per-function override of the high candidate
             level (e.g. the choice of a runtime's cost-benefit model, as
             the paper does with Jikes RVM's model in Section 6.2.1).
+        metrics: optional
+            :class:`repro.observability.MetricsRegistry`; when given,
+            per-step counters (``iar.category.*``, ``iar.slack_upgrades``,
+            ``iar.gap_appends``, ``iar.step3_reverted``, and with
+            ``exact_slack`` the ``iar.exact_slack.*`` family) record how
+            the schedule was built.
     """
     infos = _function_infos(instance, high_levels)
     order = instance.called_functions  # first-appearance order
@@ -273,7 +280,9 @@ def iar(
     refined: Optional[Tuple[Schedule, List[str]]] = None
     if params.refine_slack:
         if params.exact_slack:
-            refined = _fill_slack_exact(instance, infos, order, schedule, fs)
+            refined = _fill_slack_exact(
+                instance, infos, order, schedule, fs, metrics
+            )
         else:
             refined = _fill_slack(
                 instance, infos, order, categories, schedule, params, fs
@@ -303,6 +312,14 @@ def iar(
         if take_refined:
             schedule, gap_appends = cand_schedule, cand_appends
             slack_upgrades = refined[1]
+        elif metrics is not None:
+            metrics.counter("iar.step3_reverted").inc()
+
+    if metrics is not None:
+        for cat in categories.values():
+            metrics.counter(f"iar.category.{cat}").inc()
+        metrics.counter("iar.slack_upgrades").inc(len(slack_upgrades))
+        metrics.counter("iar.gap_appends").inc(len(gap_appends))
 
     return IARResult(
         schedule=schedule,
@@ -421,6 +438,7 @@ def _fill_slack_exact(
     order: List[str],
     schedule: Schedule,
     fs: FastSimulator,
+    metrics=None,
 ) -> Optional[Tuple[Schedule, List[str]]]:
     """Step 3 variant: score every slack-upgrade candidate exactly.
 
@@ -450,10 +468,16 @@ def _fill_slack_exact(
         ]
         candidate[i] = CompileTask(fname, info.high)
         span = fs.propose(candidate, cutoff=current_span)
+        if metrics is not None:
+            metrics.counter("iar.exact_slack.proposed").inc()
+            if span == float("inf"):
+                metrics.counter("iar.exact_slack.cutoff_exits").inc()
         if span <= current_span:
             current_span = fs.commit()
             tasks = candidate
             upgraded.append(fname)
+            if metrics is not None:
+                metrics.counter("iar.exact_slack.accepted").inc()
     if not upgraded:
         return None
     return Schedule(tuple(tasks)), upgraded

@@ -165,6 +165,7 @@ def improve_schedule(
     temperature: float = 0.0,
     compile_threads: int = 1,
     engine: str = "fast",
+    metrics=None,
 ) -> Tuple[Schedule, SearchStats]:
     """Randomized local search from ``schedule``.
 
@@ -181,6 +182,13 @@ def improve_schedule(
         engine: ``"fast"`` (incremental :class:`FastSimulator`, the
             default) or ``"reference"`` (one full :func:`simulate` per
             move).  Both produce identical results; see the module docs.
+        metrics: optional
+            :class:`repro.observability.MetricsRegistry`; records move
+            outcomes (``localsearch.proposed`` / ``fizzled`` /
+            ``invalid`` / ``evaluated`` / ``cutoff_exits`` /
+            ``accepted`` / ``improved``) and a ``localsearch.gain``
+            histogram of accepted make-span deltas.  Counting never
+            perturbs the search trajectory.
 
     Returns:
         ``(best schedule found, stats)``.  The result is never worse
@@ -220,11 +228,17 @@ def improve_schedule(
     use_cutoff = scale <= 0
     for step in range(iterations):
         proposal = _propose(instance, current, rng)
+        if metrics is not None:
+            metrics.counter("localsearch.proposed").inc()
         if proposal is None:
+            if metrics is not None:
+                metrics.counter("localsearch.fizzled").inc()
             continue
         if not Schedule(tuple(proposal)).is_valid_for(instance):
             # Defensive: every move is constructed to preserve validity,
             # but an invalid neighbour must never be evaluated.
+            if metrics is not None:
+                metrics.counter("localsearch.invalid").inc()
             continue
         if fast is not None:
             span = fast.propose(
@@ -237,6 +251,10 @@ def improve_schedule(
                 compile_threads=compile_threads,
                 validate=False,
             ).makespan
+        if metrics is not None:
+            metrics.counter("localsearch.evaluated").inc()
+            if span == math.inf:
+                metrics.counter("localsearch.cutoff_exits").inc()
         take = span <= current_span
         if not take and scale > 0:
             cooling = scale * (1.0 - step / iterations)
@@ -245,6 +263,13 @@ def improve_schedule(
         if take:
             if fast is not None:
                 fast.commit()
+            if metrics is not None:
+                metrics.counter("localsearch.accepted").inc()
+                metrics.histogram("localsearch.gain").record(
+                    current_span - span
+                )
+                if span < best_span:
+                    metrics.counter("localsearch.improved").inc()
             current = proposal
             current_span = span
             accepted += 1

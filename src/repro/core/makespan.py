@@ -130,12 +130,19 @@ def validate_for_simulation(
 
 
 def _compile_task_finishes(
-    instance: OCSPInstance, schedule: Schedule, compile_threads: int
+    instance: OCSPInstance,
+    schedule: Schedule,
+    compile_threads: int,
+    release_times: Optional[Sequence[float]] = None,
 ) -> Tuple[List[float], List[float], List[int]]:
     """Compute start/finish times of every task and the thread used.
 
     Tasks are assigned FIFO: each task goes to the compiler thread that
     becomes free earliest (ties broken by thread id for determinism).
+    With ``release_times``, task ``i`` additionally cannot start before
+    ``release_times[i]`` — this replays the enqueue times of a reactive
+    run (``vm.runtime``), whose greedy dispatch is exactly
+    ``start = max(thread_free, enqueue_time)``.
     """
     starts: List[float] = []
     finishes: List[float] = []
@@ -143,8 +150,12 @@ def _compile_task_finishes(
     if compile_threads == 1:
         # Fast path: back-to-back on one thread.
         t = 0.0
-        for task in schedule:
+        for i, task in enumerate(schedule):
             c = instance.profiles[task.function].compile_times[task.level]
+            if release_times is not None:
+                rel = release_times[i]
+                if t < rel:
+                    t = rel
             starts.append(t)
             t += c
             finishes.append(t)
@@ -152,9 +163,13 @@ def _compile_task_finishes(
         return starts, finishes, threads_used
     free_at = [(0.0, tid) for tid in range(compile_threads)]
     heapq.heapify(free_at)
-    for task in schedule:
+    for i, task in enumerate(schedule):
         c = instance.profiles[task.function].compile_times[task.level]
         start, tid = heapq.heappop(free_at)
+        if release_times is not None:
+            rel = release_times[i]
+            if start < rel:
+                start = rel
         starts.append(start)
         finishes.append(start + c)
         threads_used.append(tid)
@@ -162,42 +177,23 @@ def _compile_task_finishes(
     return starts, finishes, threads_used
 
 
-def simulate(
+def _simulate(
     instance: OCSPInstance,
     schedule: Schedule,
     compile_threads: int = 1,
     record_timeline: bool = False,
     validate: bool = True,
     preinstalled: Optional[Dict[str, int]] = None,
+    release_times: Optional[Sequence[float]] = None,
 ) -> MakespanResult:
-    """Simulate ``schedule`` driving ``instance`` and return timings.
-
-    Args:
-        instance: the OCSP instance (call sequence + cost tables).
-        schedule: compilation schedule to evaluate.
-        compile_threads: number of concurrent compiler threads (the
-            paper's Figure 7 varies this from 1 to 16).
-        record_timeline: keep per-task and per-call timings (O(N) memory;
-            off by default for long traces).
-        validate: check schedule legality first (disable only in tight
-            loops where the caller guarantees validity).  With
-            ``preinstalled``, the coverage requirement relaxes: a
-            preinstalled function needs no compile task.
-        preinstalled: functions whose code at the given level is
-            available from t = 0 without compilation — a persistent
-            code cache (the paper's Section 9 related work) or the
-            carried-over state of a replanning segment.
-
-    Returns:
-        A :class:`MakespanResult`.
-
-    Raises:
-        ScheduleError: if ``validate`` and the schedule is illegal.
-        ValueError: if ``compile_threads < 1`` or a preinstalled level
-            is out of range.
-    """
+    """Untraced simulation body; see :func:`simulate` for the contract."""
     if compile_threads < 1:
         raise ValueError(f"compile_threads must be >= 1, got {compile_threads}")
+    if release_times is not None and len(release_times) != len(schedule):
+        raise ValueError(
+            f"release_times has {len(release_times)} entries for "
+            f"{len(schedule)} tasks"
+        )
     preinstalled = dict(preinstalled or {})
     for fname, level in preinstalled.items():
         prof = instance.profiles.get(fname)
@@ -209,7 +205,7 @@ def simulate(
         validate_for_simulation(instance, schedule, preinstalled)
 
     starts, finishes, threads_used = _compile_task_finishes(
-        instance, schedule, compile_threads
+        instance, schedule, compile_threads, release_times
     )
 
     # Per-function list of (finish_time, level), sorted by finish time.
@@ -306,6 +302,72 @@ def simulate(
         calls_at_level=calls_at_level,
         task_timings=task_timings,
         call_timings=tuple(call_timings) if record_timeline else None,
+    )
+
+
+def simulate(
+    instance: OCSPInstance,
+    schedule: Schedule,
+    compile_threads: int = 1,
+    record_timeline: bool = False,
+    validate: bool = True,
+    preinstalled: Optional[Dict[str, int]] = None,
+    release_times: Optional[Sequence[float]] = None,
+    tracer=None,
+) -> MakespanResult:
+    """Simulate ``schedule`` driving ``instance`` and return timings.
+
+    Args:
+        instance: the OCSP instance (call sequence + cost tables).
+        schedule: compilation schedule to evaluate.
+        compile_threads: number of concurrent compiler threads (the
+            paper's Figure 7 varies this from 1 to 16).
+        record_timeline: keep per-task and per-call timings (O(N) memory;
+            off by default for long traces).
+        validate: check schedule legality first (disable only in tight
+            loops where the caller guarantees validity).  With
+            ``preinstalled``, the coverage requirement relaxes: a
+            preinstalled function needs no compile task.
+        preinstalled: functions whose code at the given level is
+            available from t = 0 without compilation — a persistent
+            code cache (the paper's Section 9 related work) or the
+            carried-over state of a replanning segment.
+        release_times: optional per-task earliest start times (one per
+            schedule task); used to replay a reactive run's enqueue
+            times so its emergent schedule reproduces the same timing.
+        tracer: optional :class:`repro.observability.Tracer` (or scope);
+            when given, the full timeline is traced as compile / call /
+            bubble spans.  The numbers are bitwise identical to an
+            untraced run — tracing only records, it never reschedules.
+
+    Returns:
+        A :class:`MakespanResult`.
+
+    Raises:
+        ScheduleError: if ``validate`` and the schedule is illegal.
+        ValueError: if ``compile_threads < 1``, a preinstalled level is
+            out of range, or ``release_times`` has the wrong length.
+    """
+    if tracer is None:
+        return _simulate(
+            instance, schedule, compile_threads, record_timeline,
+            validate, preinstalled, release_times,
+        )
+    from repro.observability.instrument import trace_makespan_result
+
+    result = _simulate(
+        instance, schedule, compile_threads, True,
+        validate, preinstalled, release_times,
+    )
+    trace_makespan_result(tracer, result)
+    if record_timeline:
+        return result
+    return MakespanResult(
+        makespan=result.makespan,
+        compile_end=result.compile_end,
+        total_bubble_time=result.total_bubble_time,
+        total_exec_time=result.total_exec_time,
+        calls_at_level=result.calls_at_level,
     )
 
 

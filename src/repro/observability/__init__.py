@@ -1,0 +1,54 @@
+"""Schedule-timeline observability: trace events and metrics.
+
+The simulators in :mod:`repro.core` and :mod:`repro.vm` answer *how
+long* a run took and the gap decomposition in
+:mod:`repro.analysis.diagnose` answers *how much* of the distance to
+the lower bound each cause contributes — but neither can show *when*
+bubbles, queue waits, and level-excess happen on the timeline.  This
+package adds that visibility without touching the engines' numbers:
+
+* :class:`Tracer` — a zero-dependency event recorder (spans, instants,
+  counters) driven by the simulators' **virtual clock**; it never reads
+  wall-clock time, and a disabled tracer (``tracer=None``, the default
+  everywhere) costs the engines nothing but a single branch;
+* :class:`MetricsRegistry` — counters, gauges, and histograms for
+  algorithm-step accounting (IAR category sizes, local-search move
+  outcomes, sampler ticks);
+* exporters — Chrome trace-event JSON (loads directly in Perfetto or
+  ``chrome://tracing``), a JSONL event stream, and validation helpers.
+
+Every engine takes an opt-in ``tracer=`` argument; the virtual time
+unit is the microsecond, which is also Chrome's ``ts`` unit, so traces
+open in Perfetto with correct absolute times.  See
+``docs/OBSERVABILITY.md`` for the instrumentation guide.
+"""
+
+from .tracer import TraceError, TraceEvent, Tracer, TraceScope
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .export import (
+    TraceValidationError,
+    iter_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .instrument import trace_makespan_result
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "TraceScope",
+    "TraceError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "iter_jsonl",
+    "write_jsonl",
+    "validate_chrome_trace",
+    "TraceValidationError",
+    "trace_makespan_result",
+]

@@ -1,0 +1,151 @@
+"""A minimal metrics registry: counters, gauges, histograms.
+
+Algorithm steps that are not timeline events — IAR's category sizes,
+local-search move outcomes, cutoff early-exits — are counted here.
+Like the tracer, the registry is zero-dependency and wall-clock-free;
+instruments accept ``metrics=None`` (the default) and pay one branch
+when disabled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming aggregate of observed values (count/sum/min/max/mean).
+
+    Deliberately keeps no samples: instrumented loops may record
+    millions of values, and the summaries the reports need are all
+    computable online.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Name-keyed store of metrics instruments.
+
+    ``counter``/``gauge``/``histogram`` get-or-create; requesting an
+    existing name as a different kind raises ``ValueError`` (a metric's
+    identity is its name).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: type):
+        existing = self._metrics.get(name)
+        if existing is None:
+            existing = kind(name)
+            self._metrics[name] = existing
+        elif not isinstance(existing, kind):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(existing).__name__}, not {kind.__name__}"
+            )
+        return existing
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def get(self, name: str) -> Optional[object]:
+        """The instrument registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view: name → value (counters/gauges) or summary
+        dict (histograms), sorted by name."""
+        out: Dict[str, object] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "count": metric.count,
+                    "total": metric.total,
+                    "min": metric.min if metric.count else None,
+                    "max": metric.max if metric.count else None,
+                    "mean": metric.mean,
+                }
+            else:
+                out[name] = metric.value  # type: ignore[union-attr]
+        return out
+
+    def render(self, precision: int = 3) -> str:
+        """One ``name = value`` line per metric, sorted by name."""
+        lines = []
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                lines.append(
+                    f"{name} = count={value['count']} "
+                    f"mean={value['mean']:.{precision}f} "
+                    f"min={value['min']} max={value['max']}"
+                )
+            elif isinstance(value, float):
+                lines.append(f"{name} = {value:.{precision}f}")
+            else:
+                lines.append(f"{name} = {value}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics

@@ -1,0 +1,214 @@
+"""The event tracer: spans, instants, and counters on a virtual clock.
+
+Design constraints (they shape every signature here):
+
+* **Explicit clock.**  Simulated time is an argument to every emission;
+  the tracer never reads wall-clock time, so traced runs remain
+  deterministic and replayable.
+* **Disabled means absent.**  Engines accept ``tracer=None`` and guard
+  each emission site with one ``is not None`` branch; there is no
+  "disabled tracer" object on hot paths to pay attribute lookups for.
+* **Zero dependencies.**  Events are plain frozen dataclasses in a
+  list; exporters (:mod:`repro.observability.export`) turn them into
+  Chrome trace JSON or JSONL after the run.
+
+Tracks name the horizontal lanes of the timeline.  A track is a string
+such as ``"execute"`` or ``"compiler-0"``; an optional ``process/``
+prefix (added by :meth:`Tracer.scope`) groups tracks, which the Chrome
+exporter renders as separate processes — e.g. the ``iar`` and
+``jikes`` replays of one benchmark side by side in a single file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["TraceEvent", "Tracer", "TraceScope", "TraceError"]
+
+
+class TraceError(RuntimeError):
+    """Misuse of the tracing API (unbalanced spans, negative spans)."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes:
+        kind: ``"span"``, ``"instant"``, or ``"counter"``.
+        name: event name (for spans of engine work, the function name).
+        category: coarse grouping (``"compile"``, ``"call"``,
+            ``"bubble"``, ``"sample"``, ``"enqueue"``, ...).
+        track: timeline lane, optionally ``process/``-prefixed.
+        start: event timestamp in virtual microseconds.
+        end: span end; equals ``start`` for instants and counters.
+        args: optional payload (levels, invocation indices, ...).
+        value: counter value (0.0 for spans/instants).
+    """
+
+    kind: str
+    name: str
+    category: str
+    track: str
+    start: float
+    end: float
+    args: Optional[Mapping[str, object]] = None
+    value: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Event recorder for one (or several related) simulated runs.
+
+    Spans can be emitted complete (:meth:`span`, when both endpoints
+    are known) or as a balanced begin/end pair (:meth:`begin` /
+    :meth:`end`, for engines that discover the end later).  Begin/end
+    pairs nest per track; :meth:`assert_closed` (called by the
+    exporters) rejects traces with spans left open.
+    """
+
+    __slots__ = ("_events", "_open")
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        # track -> stack of (name, category, start, args)
+        self._open: Dict[str, List[Tuple[str, str, float, Optional[Mapping]]]] = {}
+
+    # -- emission ------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        track: str,
+        start: float,
+        end: float,
+        category: str = "span",
+        args: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Record a complete span ``[start, end]`` on ``track``."""
+        if end < start:
+            raise TraceError(
+                f"span {name!r} on {track!r} ends before it starts "
+                f"({end} < {start})"
+            )
+        self._events.append(
+            TraceEvent("span", name, category, track, start, end, args)
+        )
+
+    def begin(
+        self,
+        name: str,
+        track: str,
+        ts: float,
+        category: str = "span",
+        args: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Open a span on ``track``; pair with :meth:`end`."""
+        self._open.setdefault(track, []).append((name, category, ts, args))
+
+    def end(self, track: str, ts: float) -> None:
+        """Close the innermost open span on ``track`` at ``ts``."""
+        stack = self._open.get(track)
+        if not stack:
+            raise TraceError(f"end() on {track!r} with no open span")
+        name, category, start, args = stack.pop()
+        self.span(name, track, start, ts, category=category, args=args)
+
+    def instant(
+        self,
+        name: str,
+        track: str,
+        ts: float,
+        category: str = "instant",
+        args: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        """Record a point event at ``ts``."""
+        self._events.append(
+            TraceEvent("instant", name, category, track, ts, ts, args)
+        )
+
+    def counter(self, name: str, track: str, ts: float, value: float) -> None:
+        """Record a counter sample (rendered as a graph lane)."""
+        self._events.append(
+            TraceEvent("counter", name, "counter", track, ts, ts, None, value)
+        )
+
+    # -- scoping -------------------------------------------------------
+    def scope(self, process: str) -> "TraceScope":
+        """A view that prefixes every track with ``process/``.
+
+        Lets several engine runs (e.g. the four schemes of one figure
+        benchmark) share a tracer while landing in separate process
+        groups of the exported timeline.
+        """
+        return TraceScope(self, process)
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def open_spans(self) -> int:
+        """Number of begin() spans not yet ended."""
+        return sum(len(stack) for stack in self._open.values())
+
+    def assert_closed(self) -> None:
+        """Raise :class:`TraceError` if any begin/end span is open."""
+        open_tracks = sorted(t for t, s in self._open.items() if s)
+        if open_tracks:
+            raise TraceError(
+                f"unbalanced spans left open on tracks: {open_tracks}"
+            )
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._open.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class TraceScope:
+    """Track-prefixing view of a :class:`Tracer` (see ``Tracer.scope``)."""
+
+    __slots__ = ("_tracer", "_prefix")
+
+    def __init__(self, tracer: Tracer, process: str) -> None:
+        if not process or "/" in process:
+            raise TraceError(f"invalid scope name {process!r}")
+        self._tracer = tracer
+        self._prefix = process
+
+    def _track(self, track: str) -> str:
+        return f"{self._prefix}/{track}"
+
+    def span(self, name, track, start, end, category="span", args=None) -> None:
+        self._tracer.span(name, self._track(track), start, end, category, args)
+
+    def begin(self, name, track, ts, category="span", args=None) -> None:
+        self._tracer.begin(name, self._track(track), ts, category, args)
+
+    def end(self, track, ts) -> None:
+        self._tracer.end(self._track(track), ts)
+
+    def instant(self, name, track, ts, category="instant", args=None) -> None:
+        self._tracer.instant(name, self._track(track), ts, category, args)
+
+    def counter(self, name, track, ts, value) -> None:
+        self._tracer.counter(name, self._track(track), ts, value)
+
+    def scope(self, process: str) -> "TraceScope":
+        return TraceScope(self._tracer, f"{self._prefix}-{process}")
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return self._tracer.events
+
+    def assert_closed(self) -> None:
+        self._tracer.assert_closed()
+
+    def __len__(self) -> int:
+        return len(self._tracer)

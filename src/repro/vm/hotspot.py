@@ -65,6 +65,7 @@ def run_tiered(
     thresholds: Sequence[int] = DEFAULT_THRESHOLDS,
     compile_threads: int = 1,
     sample_period: Optional[float] = None,
+    tracer=None,
 ) -> RuntimeRunResult:
     """Replay ``instance`` under the HotSpot-style tiered scheme."""
     simulator = RuntimeSimulator(
@@ -72,5 +73,6 @@ def run_tiered(
         TieredScheme(thresholds),
         compile_threads=compile_threads,
         sample_period=sample_period,
+        tracer=tracer,
     )
     return simulator.run()

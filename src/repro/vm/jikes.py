@@ -59,6 +59,7 @@ def run_jikes(
     compile_threads: int = 1,
     sample_period: Optional[float] = None,
     model_seed: int = 0,
+    tracer=None,
 ) -> RuntimeRunResult:
     """Replay ``instance`` under the Jikes RVM default scheme.
 
@@ -70,6 +71,7 @@ def run_jikes(
         compile_threads: compiler threads serving the queue.
         sample_period: sampler interval (``None`` → derived).
         model_seed: seed for the default model's estimation noise.
+        tracer: optional :class:`repro.observability.Tracer` (or scope).
     """
     if model is None:
         model = EstimatedModel(instance, seed=model_seed)
@@ -78,5 +80,6 @@ def run_jikes(
         JikesScheme(model),
         compile_threads=compile_threads,
         sample_period=sample_period,
+        tracer=tracer,
     )
     return simulator.run()

@@ -58,6 +58,8 @@ class PriorityRuntimeSimulator:
             first).
         compile_threads: compiler threads.
         sample_period: sampler interval (``None`` → derived).
+        tracer: optional :class:`repro.observability.Tracer` (or scope);
+            records enqueues, compile spans, calls, bubbles, samples.
     """
 
     def __init__(
@@ -67,6 +69,7 @@ class PriorityRuntimeSimulator:
         policy: str = "hotness",
         compile_threads: int = 1,
         sample_period: Optional[float] = None,
+        tracer=None,
     ):
         if policy not in PRIORITY_POLICIES:
             raise ValueError(
@@ -85,10 +88,15 @@ class PriorityRuntimeSimulator:
         )
         if self.sample_period <= 0:
             raise ValueError("sample_period must be positive")
+        self.tracer = tracer
         self._reset()
 
     def _reset(self) -> None:
-        self._threads: List[float] = [0.0] * self.compile_threads
+        # (free_time, thread_id) so traced compile spans know their
+        # track; timing is unchanged vs a bare float heap.
+        self._threads: List[Tuple[float, int]] = [
+            (0.0, tid) for tid in range(self.compile_threads)
+        ]
         heapq.heapify(self._threads)
         self._pending: List[Tuple[Tuple, int, float, str, int]] = []
         self._seq = itertools.count()
@@ -113,6 +121,14 @@ class PriorityRuntimeSimulator:
         key = self.policy(level, self._observed.get(fname, 0), next(self._seq))
         heapq.heappush(self._pending, (key, next(self._seq), time, fname, level))
         self._enqueue_times.append(time)
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"enqueue {fname} L{level}",
+                "queue",
+                time,
+                category="enqueue",
+                args={"function": fname, "level": level},
+            )
 
     def requested_level(self, fname: str) -> int:
         return self._requested_level.get(fname, -1)
@@ -134,7 +150,7 @@ class PriorityRuntimeSimulator:
         """
         if not self._pending:
             return False
-        thread_free = self._threads[0]
+        thread_free = self._threads[0][0]
         earliest_arrival = min(item[2] for item in self._pending)
         dispatch_at = max(thread_free, earliest_arrival)
         if horizon is not None and dispatch_at > horizon:
@@ -144,13 +160,26 @@ class PriorityRuntimeSimulator:
         chosen = min(arrived)
         self._pending.remove(chosen)
         heapq.heapify(self._pending)
-        _key, _seq, _arrival, fname, level = chosen
-        heapq.heappop(self._threads)
+        _key, _seq, arrival, fname, level = chosen
+        _free, tid = heapq.heappop(self._threads)
         c = self.instance.profiles[fname].compile_times[level]
         finish = dispatch_at + c
-        heapq.heappush(self._threads, finish)
+        heapq.heappush(self._threads, (finish, tid))
         self._dispatched.append(CompileTask(fname, level))
         self._finish_events.setdefault(fname, []).append((finish, level))
+        if self.tracer is not None:
+            self.tracer.span(
+                f"compile {fname} L{level}",
+                f"compiler-{tid}",
+                dispatch_at,
+                finish,
+                category="compile",
+                args={
+                    "function": fname,
+                    "level": level,
+                    "queue_wait": dispatch_at - arrival,
+                },
+            )
         return True
 
     def _dispatch_until(self, horizon: Optional[float]) -> None:
@@ -176,6 +205,7 @@ class PriorityRuntimeSimulator:
         scheme = self.scheme
         period = self.sample_period
 
+        tracer = self.tracer
         invocations: Dict[str, int] = {}
         samples: Dict[str, int] = {}
         samples_taken = 0
@@ -183,7 +213,8 @@ class PriorityRuntimeSimulator:
         total_bubble = 0.0
         total_exec = 0.0
         t = 0.0
-        next_tick = period
+        # Index-based sampler ticks; see RuntimeSimulator.run.
+        tick = 1
 
         for fname in instance.calls:
             invocation = invocations.get(fname, 0) + 1
@@ -207,14 +238,43 @@ class PriorityRuntimeSimulator:
             finish = start + exec_time
             total_exec += exec_time
             calls_at_level[best] = calls_at_level.get(best, 0) + 1
+            if tracer is not None:
+                if start > t:
+                    tracer.span(
+                        "bubble", "execute", t, start,
+                        category="bubble",
+                        args={"function": fname, "bubble": start - t},
+                    )
+                    tracer.counter("bubble_total", "bubbles", start, total_bubble)
+                tracer.span(
+                    fname, "execute", start, finish,
+                    category="call",
+                    args={"level": best, "invocation": invocation},
+                )
 
-            while next_tick <= finish:
-                if next_tick > start:
-                    k = samples.get(fname, 0) + 1
-                    samples[fname] = k
+            if tick * period <= finish:
+                if tick * period <= start:
+                    k = int(start / period) + 1
+                    while (k - 1) * period > start:
+                        k -= 1
+                    while k * period <= start:
+                        k += 1
+                    if k > tick:
+                        tick = k
+                t_tick = tick * period
+                while t_tick <= finish:
+                    ks = samples.get(fname, 0) + 1
+                    samples[fname] = ks
                     samples_taken += 1
-                    scheme.on_sample(self, fname, k, next_tick)
-                next_tick += period
+                    scheme.on_sample(self, fname, ks, t_tick)
+                    if tracer is not None:
+                        tracer.instant(
+                            f"sample {fname}", "sampler", t_tick,
+                            category="sample",
+                            args={"function": fname, "k": ks},
+                        )
+                    tick += 1
+                    t_tick = tick * period
             t = finish
 
         return RuntimeRunResult(
@@ -234,6 +294,7 @@ def run_with_policy(
     policy: str = "hotness",
     compile_threads: int = 1,
     sample_period: Optional[float] = None,
+    tracer=None,
 ) -> RuntimeRunResult:
     """Convenience wrapper: replay ``instance`` under ``scheme`` with
     the given queue policy."""
@@ -243,4 +304,5 @@ def run_with_policy(
         policy=policy,
         compile_threads=compile_threads,
         sample_period=sample_period,
+        tracer=tracer,
     ).run()

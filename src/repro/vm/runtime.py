@@ -114,6 +114,7 @@ class RuntimeSimulator:
         scheme: RuntimeScheme,
         compile_threads: int = 1,
         sample_period: Optional[float] = None,
+        tracer=None,
     ):
         if compile_threads < 1:
             raise ValueError("compile_threads must be >= 1")
@@ -127,8 +128,12 @@ class RuntimeSimulator:
         )
         if self.sample_period <= 0:
             raise ValueError("sample_period must be positive")
-        # Mutable co-simulation state (reset by run()).
-        self._thread_free: List[float] = []
+        self.tracer = tracer
+        # Mutable co-simulation state (reset by run()).  The heap holds
+        # (free_time, thread_id) so traced compile spans land on the
+        # right per-thread track; the multiset of free times — and hence
+        # every start/finish — is the same as with bare floats.
+        self._thread_free: List[Tuple[float, int]] = []
         self._tasks: List[CompileTask] = []
         self._enqueue_times: List[float] = []
         self._finish_events: Dict[str, List[Tuple[float, int]]] = {}
@@ -151,13 +156,33 @@ class RuntimeSimulator:
         if level <= prev:
             return
         self._requested_level[fname] = level
-        start_free = heapq.heappop(self._thread_free)
+        start_free, tid = heapq.heappop(self._thread_free)
         start = start_free if start_free > time else time
         finish = start + prof.compile_times[level]
-        heapq.heappush(self._thread_free, finish)
+        heapq.heappush(self._thread_free, (finish, tid))
         self._tasks.append(CompileTask(fname, level))
         self._enqueue_times.append(time)
         self._finish_events.setdefault(fname, []).append((finish, level))
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"enqueue {fname} L{level}",
+                "queue",
+                time,
+                category="enqueue",
+                args={"function": fname, "level": level},
+            )
+            self.tracer.span(
+                f"compile {fname} L{level}",
+                f"compiler-{tid}",
+                start,
+                finish,
+                category="compile",
+                args={
+                    "function": fname,
+                    "level": level,
+                    "queue_wait": start - time,
+                },
+            )
 
     def requested_level(self, fname: str) -> int:
         """Highest level requested so far for ``fname`` (-1 if none)."""
@@ -169,7 +194,7 @@ class RuntimeSimulator:
     def run(self) -> RuntimeRunResult:
         """Replay the call sequence; returns timings and the emergent
         compilation schedule."""
-        self._thread_free = [0.0] * self.compile_threads
+        self._thread_free = [(0.0, tid) for tid in range(self.compile_threads)]
         heapq.heapify(self._thread_free)
         self._tasks = []
         self._enqueue_times = []
@@ -179,6 +204,7 @@ class RuntimeSimulator:
         instance = self.instance
         scheme = self.scheme
         period = self.sample_period
+        tracer = self.tracer
 
         invocations: Dict[str, int] = {}
         samples: Dict[str, int] = {}
@@ -187,7 +213,11 @@ class RuntimeSimulator:
         total_bubble = 0.0
         total_exec = 0.0
         t = 0.0
-        next_tick = period
+        # Sampler tick ``i`` fires at ``i * period`` (i >= 1).  Indexing
+        # ticks (rather than accumulating ``next_tick += period``) lets
+        # non-observing ticks — bubbles, stretches between calls — be
+        # skipped arithmetically in O(1) instead of looped over.
+        tick = 1
 
         for fname in instance.calls:
             invocation = invocations.get(fname, 0) + 1
@@ -209,16 +239,50 @@ class RuntimeSimulator:
             finish = start + exec_time
             total_exec += exec_time
             calls_at_level[best] = calls_at_level.get(best, 0) + 1
+            if tracer is not None:
+                if start > t:
+                    tracer.span(
+                        "bubble", "execute", t, start,
+                        category="bubble",
+                        args={"function": fname, "bubble": start - t},
+                    )
+                    tracer.counter("bubble_total", "bubbles", start, total_bubble)
+                tracer.span(
+                    fname, "execute", start, finish,
+                    category="call",
+                    args={"level": best, "invocation": invocation},
+                )
 
             # Sampler ticks: those inside (start, finish] observe fname;
-            # ticks inside the bubble observe a stalled thread.
-            while next_tick <= finish:
-                if next_tick > start:
-                    k = samples.get(fname, 0) + 1
-                    samples[fname] = k
+            # ticks inside the bubble observe a stalled thread and are
+            # jumped over without iterating (the former per-period walk
+            # made long bubbles O(duration / period)).
+            if tick * period <= finish:
+                if tick * period <= start:
+                    # First tick strictly after `start`, computed
+                    # arithmetically; the two nudge loops absorb float
+                    # rounding of the division and run O(1) times.
+                    k = int(start / period) + 1
+                    while (k - 1) * period > start:
+                        k -= 1
+                    while k * period <= start:
+                        k += 1
+                    if k > tick:
+                        tick = k
+                t_tick = tick * period
+                while t_tick <= finish:
+                    ks = samples.get(fname, 0) + 1
+                    samples[fname] = ks
                     samples_taken += 1
-                    scheme.on_sample(self, fname, k, next_tick)
-                next_tick += period
+                    scheme.on_sample(self, fname, ks, t_tick)
+                    if tracer is not None:
+                        tracer.instant(
+                            f"sample {fname}", "sampler", t_tick,
+                            category="sample",
+                            args={"function": fname, "k": ks},
+                        )
+                    tick += 1
+                    t_tick = tick * period
             t = finish
 
         return RuntimeRunResult(

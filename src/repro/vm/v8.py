@@ -53,6 +53,7 @@ def run_v8(
     levels: Tuple[int, int] = (0, 1),
     compile_threads: int = 1,
     sample_period: Optional[float] = None,
+    tracer=None,
 ) -> RuntimeRunResult:
     """Replay ``instance`` under the V8 scheme.
 
@@ -63,11 +64,13 @@ def run_v8(
         compile_threads: compiler threads serving the queue.
         sample_period: unused by the scheme itself (no sampler hooks)
             but kept for interface uniformity.
+        tracer: optional :class:`repro.observability.Tracer` (or scope).
     """
     simulator = RuntimeSimulator(
         instance,
         V8Scheme(*levels),
         compile_threads=compile_threads,
         sample_period=sample_period,
+        tracer=tracer,
     )
     return simulator.run()

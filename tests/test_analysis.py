@@ -155,6 +155,27 @@ class TestDrivers:
         assert avg["benchmark"] == "average"
         assert avg["x"] == 2.0
 
+    def test_average_row_geometric(self):
+        rows = [{"benchmark": "a", "x": 1.0}, {"benchmark": "b", "x": 4.0}]
+        avg = average_row(rows, ["x"], mean="geo")
+        assert avg["x"] == pytest.approx(2.0)
+        # The arithmetic mean of the same ratios overweights the slow
+        # benchmark — this is the bug the geo option fixes.
+        assert average_row(rows, ["x"])["x"] == pytest.approx(2.5)
+
+    def test_average_row_rejects_unknown_mean(self):
+        rows = [{"benchmark": "a", "x": 1.0}]
+        with pytest.raises(ValueError, match="mean"):
+            average_row(rows, ["x"], mean="median")
+
+    def test_average_row_skips_missing_values(self):
+        rows = [
+            {"benchmark": "a", "x": 2.0},
+            {"benchmark": "b", "x": None},
+            {"benchmark": "c", "x": 8.0},
+        ]
+        assert average_row(rows, ["x"], mean="geo")["x"] == pytest.approx(4.0)
+
 
 class TestFormatTimeline:
     def test_renders_fig1_schedule(self, fig1_instance=None):

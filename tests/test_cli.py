@@ -149,3 +149,94 @@ class TestImportTrace:
         capsys.readouterr()
         assert main(["evaluate", str(out), str(sched)]) == 0
         assert "normalized" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_chrome_trace_is_valid(self, tmp_path, capsys):
+        from repro.observability import validate_chrome_trace
+
+        out = tmp_path / "antlr.trace.json"
+        code = main(
+            [
+                "trace", "antlr",
+                "--scheme", "jikes",
+                "--scale", "0.002",
+                "-o", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "make-span" in text
+        assert "execute" in text  # the per-track summary
+        assert validate_chrome_trace(out.read_text()) > 0
+
+    @pytest.mark.parametrize("scheme", ["iar", "v8"])
+    def test_other_schemes(self, tmp_path, scheme):
+        out = tmp_path / f"{scheme}.trace.json"
+        assert main(
+            [
+                "trace", "fop",
+                "--scheme", scheme,
+                "--scale", "0.002",
+                "-o", str(out),
+            ]
+        ) == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+
+    def test_jsonl_format(self, tmp_path):
+        out = tmp_path / "antlr.jsonl"
+        assert main(
+            [
+                "trace", "antlr",
+                "--scheme", "iar",
+                "--scale", "0.002",
+                "--format", "jsonl",
+                "-o", str(out),
+            ]
+        ) == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["kind"] for line in lines)
+
+    def test_unknown_benchmark_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "nope", "-o", str(tmp_path / "x.json")]
+            )
+
+
+class TestDiagnoseIntervals:
+    def test_interval_table_printed(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "base.json"
+        main(["schedule", str(trace_file), "--algorithm", "base", "-o", str(out)])
+        capsys.readouterr()
+        assert main(
+            ["diagnose", str(trace_file), str(out), "--intervals", "4"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "gap by interval" in text
+
+    def test_no_interval_table_by_default(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "base.json"
+        main(["schedule", str(trace_file), "--algorithm", "base", "-o", str(out)])
+        capsys.readouterr()
+        assert main(["diagnose", str(trace_file), str(out)]) == 0
+        assert "gap by interval" not in capsys.readouterr().out
+
+
+class TestStudyTraceDir:
+    def test_fig8_dumps_traces(self, tmp_path, capsys):
+        from repro.observability import validate_chrome_trace
+
+        trace_dir = tmp_path / "traces"
+        assert main(
+            [
+                "study", "--figure", "fig8",
+                "--scale", "0.002",
+                "--trace-dir", str(trace_dir),
+            ]
+        ) == 0
+        files = sorted(trace_dir.glob("figure8-*.trace.json"))
+        assert len(files) == 9
+        validate_chrome_trace(files[0].read_text())

@@ -88,3 +88,62 @@ class TestPerFunction:
     def test_invalid_schedule_rejected(self, fig2_instance):
         with pytest.raises(ScheduleError):
             diagnose(fig2_instance, Schedule.of(("f0", 0)))
+
+
+class TestPerInterval:
+    def test_default_has_no_intervals(self, small_synthetic):
+        d = diagnose(small_synthetic, base_level_schedule(small_synthetic))
+        assert d.per_interval == ()
+        assert d.interval_rows() == []
+
+    def test_negative_intervals_rejected(self, small_synthetic):
+        with pytest.raises(ValueError, match="intervals"):
+            diagnose(
+                small_synthetic,
+                base_level_schedule(small_synthetic),
+                intervals=-1,
+            )
+
+    def test_intervals_partition_the_timeline(self, small_synthetic):
+        d = diagnose(
+            small_synthetic, base_level_schedule(small_synthetic), intervals=8
+        )
+        assert len(d.per_interval) == 8
+        assert d.per_interval[0].start == 0.0
+        assert d.per_interval[-1].end == pytest.approx(d.makespan)
+        for left, right in zip(d.per_interval, d.per_interval[1:]):
+            assert left.end == pytest.approx(right.start)
+
+    def test_interval_split_sums_to_totals(self, small_synthetic):
+        sched = iar_schedule(small_synthetic)
+        d = diagnose(small_synthetic, sched, intervals=5)
+        assert sum(g.calls for g in d.per_interval) == small_synthetic.num_calls
+        assert sum(g.bubbles for g in d.per_interval) == pytest.approx(d.bubbles)
+        assert sum(
+            g.excess_before_upgrade for g in d.per_interval
+        ) == pytest.approx(d.excess_before_upgrade)
+        assert sum(
+            g.excess_never_upgraded for g in d.per_interval
+        ) == pytest.approx(d.excess_never_upgraded)
+        assert sum(g.total for g in d.per_interval) == pytest.approx(
+            d.bubbles + d.excess_before_upgrade + d.excess_never_upgraded
+        )
+
+    def test_interval_totals_match_per_function(self, small_synthetic):
+        """Two decompositions of the same gap agree with each other."""
+        sched = base_level_schedule(small_synthetic)
+        d = diagnose(small_synthetic, sched, intervals=3)
+        assert sum(g.total for g in d.per_interval) == pytest.approx(
+            sum(g.total for g in d.per_function)
+        )
+
+    def test_interval_rows_shape(self, small_synthetic):
+        d = diagnose(
+            small_synthetic, base_level_schedule(small_synthetic), intervals=4
+        )
+        rows = d.interval_rows()
+        assert len(rows) == 4
+        assert set(rows[0]) == {
+            "interval", "calls", "bubbles", "before_upgrade",
+            "never_upgraded", "share_of_gap",
+        }

@@ -46,8 +46,26 @@ GOLDEN = {
 }
 
 
+# benchmark: (jikes, v8) sampler ticks that observed a function, at
+# scale=0.002 with default seeds.  Pinned exactly: the arithmetic
+# tick-skipping sampler must fire the very same ticks the former
+# per-period loop did.
+GOLDEN_SAMPLES = {
+    "antlr": (386, 346),
+    "bloat": (381, 336),
+    "eclipse": (350, 458),
+    "fop": (748, 500),
+    "hsqldb": (335, 298),
+    "jython": (862, 434),
+    "luindex": (483, 380),
+    "lusearch": (525, 318),
+    "pmd": (616, 376),
+}
+
+
 def test_golden_covers_the_whole_suite():
     assert set(GOLDEN) == set(dacapo.BENCHMARKS)
+    assert set(GOLDEN_SAMPLES) == set(dacapo.BENCHMARKS)
 
 
 @pytest.mark.parametrize("name", sorted(GOLDEN))
@@ -69,6 +87,14 @@ def test_golden_ordering_iar_beats_both_runtimes(name):
     jikes, v8, iar = GOLDEN[name]
     assert lower_bound(instance) <= iar
     assert iar < min(jikes, v8)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SAMPLES))
+def test_golden_sampler_tick_counts(name):
+    instance = dacapo.load(name, scale=SCALE)
+    jikes_samples, v8_samples = GOLDEN_SAMPLES[name]
+    assert run_jikes(instance).samples_taken == jikes_samples
+    assert run_v8(instance).samples_taken == v8_samples
 
 
 def test_repeated_loads_are_identical():

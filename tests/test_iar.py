@@ -275,3 +275,30 @@ class TestVariants:
             spans[order] = simulate(small_synthetic, sched, validate=False).makespan
         spread = (max(spans.values()) - min(spans.values())) / min(spans.values())
         assert spread < 0.15  # the paper's "do not outperform" finding
+
+
+class TestIARMetrics:
+    def test_metrics_populated(self, small_synthetic):
+        from repro.core.iar import iar
+        from repro.observability import MetricsRegistry
+
+        reg = MetricsRegistry()
+        result = iar(small_synthetic, metrics=reg)
+        snap = reg.snapshot()
+        category_total = sum(
+            v for k, v in snap.items() if k.startswith("iar.category.")
+        )
+        assert category_total == small_synthetic.num_functions
+        assert snap.get("iar.exact_slack.proposed", 0) >= snap.get(
+            "iar.exact_slack.accepted", 0
+        )
+        assert snap["iar.slack_upgrades"] == len(result.slack_upgrades)
+        assert snap["iar.gap_appends"] == len(result.gap_appends)
+
+    def test_metrics_do_not_change_the_schedule(self, small_synthetic):
+        from repro.core.iar import iar
+        from repro.observability import MetricsRegistry
+
+        plain = iar(small_synthetic).schedule
+        counted = iar(small_synthetic, metrics=MetricsRegistry()).schedule
+        assert plain == counted

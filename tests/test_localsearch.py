@@ -82,3 +82,33 @@ class TestImproveSchedule:
             small_synthetic, start, iterations=600, seed=7
         )
         assert stats.improvement < 0.08
+
+
+class TestSearchMetrics:
+    def test_metrics_account_for_every_step(self, small_synthetic):
+        from repro.observability import MetricsRegistry
+
+        reg = MetricsRegistry()
+        start = base_level_schedule(small_synthetic)
+        _, stats = improve_schedule(
+            small_synthetic, start, iterations=300, seed=5, metrics=reg
+        )
+        snap = reg.snapshot()
+        assert snap["localsearch.proposed"] == 300
+        assert snap["localsearch.accepted"] == stats.accepted
+        assert snap.get("localsearch.improved", 0) <= snap["localsearch.accepted"]
+        if "localsearch.gain" in reg:
+            assert snap["localsearch.gain"]["count"] == stats.accepted
+
+    def test_metrics_do_not_perturb_the_search(self, small_synthetic):
+        from repro.observability import MetricsRegistry
+
+        start = base_level_schedule(small_synthetic)
+        plain, _ = improve_schedule(
+            small_synthetic, start, iterations=250, seed=9
+        )
+        counted, _ = improve_schedule(
+            small_synthetic, start, iterations=250, seed=9,
+            metrics=MetricsRegistry(),
+        )
+        assert plain == counted

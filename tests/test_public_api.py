@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.jitsim",
     "repro.workloads",
     "repro.analysis",
+    "repro.observability",
     "repro.cli",
 ]
 
@@ -32,6 +33,8 @@ MODULES = [
     "repro.analysis.metrics", "repro.analysis.experiments",
     "repro.analysis.reporting", "repro.analysis.diagnose",
     "repro.analysis.sensitivity", "repro.analysis.export",
+    "repro.observability.tracer", "repro.observability.metrics",
+    "repro.observability.export", "repro.observability.instrument",
 ]
 
 

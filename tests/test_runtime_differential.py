@@ -1,0 +1,86 @@
+"""Differential test: the reactive runtime vs the schedule simulators.
+
+A :class:`~repro.vm.runtime.RuntimeSimulator` run *is* a make-span
+simulation of its emergent schedule — provided each compile task is
+held back until the moment the runtime actually enqueued it.  Replaying
+``run.schedule`` through :func:`repro.core.makespan.simulate` (and the
+fast engine) with ``release_times=run.enqueue_times`` must therefore
+reproduce the runtime's numbers bit for bit.  This cross-checks three
+independently written engines against each other on every preset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fastsim import FastSimulator
+from repro.core.makespan import simulate
+from repro.vm.jikes import run_jikes
+from repro.vm.v8 import run_v8
+from repro.workloads import dacapo
+
+SCALE = 0.002
+BENCHMARKS = sorted(dacapo.BENCHMARKS)
+
+
+def _assert_replay_matches(instance, run, compile_threads=1):
+    replay = simulate(
+        instance,
+        run.schedule,
+        compile_threads=compile_threads,
+        release_times=run.enqueue_times,
+        validate=False,
+    )
+    assert replay.makespan == run.makespan
+    assert replay.total_bubble_time == run.total_bubble_time
+    assert replay.total_exec_time == run.total_exec_time
+    assert replay.calls_at_level == run.calls_at_level
+
+    fast = FastSimulator(instance, compile_threads=compile_threads)
+    fast_result = fast.evaluate(run.schedule, release_times=run.enqueue_times)
+    assert fast_result.makespan == run.makespan
+    assert fast_result.total_bubble_time == run.total_bubble_time
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_jikes_replay_is_bitwise_identical(name):
+    instance = dacapo.load(name, scale=SCALE)
+    _assert_replay_matches(instance, run_jikes(instance))
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_v8_replay_is_bitwise_identical(name):
+    instance = dacapo.load(name, scale=SCALE)
+    _assert_replay_matches(instance, run_v8(instance))
+
+
+def test_multithreaded_replay_matches():
+    instance = dacapo.load("antlr", scale=SCALE)
+    for threads in (2, 4):
+        _assert_replay_matches(
+            instance, run_jikes(instance, compile_threads=threads), threads
+        )
+
+
+def test_release_times_length_is_checked():
+    instance = dacapo.load("antlr", scale=SCALE)
+    run = run_jikes(instance)
+    with pytest.raises(ValueError, match="release_times"):
+        simulate(
+            instance,
+            run.schedule,
+            release_times=run.enqueue_times[:-1],
+            validate=False,
+        )
+    with pytest.raises(ValueError, match="release_times"):
+        FastSimulator(instance).evaluate(
+            run.schedule, release_times=run.enqueue_times[:-1]
+        )
+
+
+def test_without_release_times_the_replay_is_no_slower():
+    """Dropping the release constraint can only start compiles earlier."""
+    instance = dacapo.load("fop", scale=SCALE)
+    run = run_v8(instance)
+    free = simulate(instance, run.schedule, validate=False)
+    assert free.makespan <= run.makespan

@@ -142,6 +142,28 @@ class TestDacapoPresets:
         assert len(suite) == 9
         assert all(inst.num_calls > 0 for inst in suite.values())
 
+    def test_load_suite_seed_is_per_benchmark(self):
+        """Regression: a shared seed used to reach every benchmark
+        verbatim, generating correlated traces across the suite."""
+        suite = load_suite(scale=0.002, seed=7)
+        assert suite["antlr"].calls == load("antlr", scale=0.002, seed=7).calls
+        # Benchmark i gets seed + i, not the shared seed.
+        assert suite["bloat"].calls == load("bloat", scale=0.002, seed=8).calls
+        assert suite["bloat"].calls != load("bloat", scale=0.002, seed=7).calls
+
+    def test_load_suite_seeded_traces_are_decorrelated(self):
+        suite = load_suite(scale=0.002, seed=3)
+        # Same function-count presets would previously draw identical
+        # call patterns; with per-benchmark seeds they must differ.
+        a, b = suite["antlr"], suite["fop"]
+        n = min(a.num_calls, b.num_calls)
+        assert a.calls[:n] != b.calls[:n]
+
+    def test_load_suite_default_seeds_unchanged(self):
+        suite = load_suite(scale=0.002)
+        assert suite["antlr"].calls == load("antlr", scale=0.002).calls
+        assert suite["pmd"].calls == load("pmd", scale=0.002).calls
+
     def test_table1_rows(self):
         rows = table1_rows(scale=0.002)
         assert len(rows) == 9

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON files produced by ``repro trace``.
+
+Checks each file against the schema rules of
+:func:`repro.observability.validate_chrome_trace` (required keys per
+event phase, finite non-negative timestamps, per-thread monotonicity,
+non-overlapping complete spans, balanced begin/end pairs) and exits
+non-zero on the first invalid file:
+
+    PYTHONPATH=src python tools/validate_trace.py trace1.json [trace2.json ...]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observability import TraceValidationError, validate_chrome_trace
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: validate_trace.py TRACE.json [TRACE.json ...]", file=sys.stderr)
+        return 2
+    for path in argv:
+        try:
+            count = validate_chrome_trace(Path(path).read_text())
+        except (OSError, TraceValidationError, ValueError) as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            return 1
+        print(f"{path}: ok ({count} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
