@@ -7,7 +7,6 @@ they do not outperform the simple heuristics Figure 3 shows."  We rerun
 that search across both prioritized steps.
 """
 
-from itertools import product
 
 from repro.analysis import average_row, format_figure
 from repro.analysis.experiments import project_to_model_levels

@@ -12,7 +12,7 @@ import time
 
 from repro.analysis import average_row, format_figure, format_table
 from repro.analysis.experiments import project_to_model_levels
-from repro.core import lower_bound, simulate
+from repro.core import lower_bound
 from repro.core.iar import iar_schedule
 from repro.core.localsearch import improve_schedule
 from repro.core.single_level import base_level_schedule

@@ -8,7 +8,7 @@ the paper's claim, mapped.
 """
 
 from repro.analysis import format_table
-from repro.analysis.sensitivity import DEFAULT_BASE_SPEC, sweep_parameter
+from repro.analysis.sensitivity import sweep_parameter
 
 SWEEPS = {
     "zipf_s": (1.1, 1.3, 1.45, 1.7),

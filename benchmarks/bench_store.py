@@ -1,0 +1,71 @@
+"""Throughput of the content-addressed result store.
+
+The store only pays for itself if fingerprinting and cache I/O are
+cheap next to the simulations they avoid.  This benchmark measures the
+three costs a cached `repro study` run actually pays — fingerprinting
+every unit, reading every hit, and (on the cold run) writing every
+miss — and reports them against the wall-clock of computing one cell,
+so EXPERIMENTS.md can cite the break-even point.
+"""
+
+import time
+
+from repro.analysis import PARALLEL_DRIVERS
+from repro.store import ResultStore, fingerprint_unit
+
+DRIVER = "figure5"
+
+
+def _rate(n: int, seconds: float) -> str:
+    if seconds <= 0:
+        return "inf"
+    return f"{n / seconds:,.0f}/s"
+
+
+def test_store_throughput(suite, report, scale, tmp_path):
+    store = ResultStore(tmp_path / "store")
+
+    # Fingerprint every (driver, benchmark) unit of the suite.
+    t0 = time.perf_counter()
+    fps = {
+        name: fingerprint_unit(inst, DRIVER, benchmark=name)
+        for name, inst in suite.items()
+    }
+    fp_s = time.perf_counter() - t0
+
+    # One real cell, for the break-even comparison.
+    first = next(iter(suite))
+    t0 = time.perf_counter()
+    rows = PARALLEL_DRIVERS[DRIVER]({first: suite[first]})
+    cell_s = time.perf_counter() - t0
+
+    payload = {name: rows for name in fps}
+
+    t0 = time.perf_counter()
+    for name, fp in fps.items():
+        store.put(fp, payload[name], driver=DRIVER, benchmark=name)
+    put_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for name, fp in fps.items():
+        got = store.get(fp)
+        assert got == payload[name]
+    get_s = time.perf_counter() - t0
+
+    n = len(fps)
+    lines = [
+        f"result store throughput ({n} units, scale={scale})",
+        f"  fingerprint : {fp_s * 1e3:8.2f} ms total  ({_rate(n, fp_s)})",
+        f"  put         : {put_s * 1e3:8.2f} ms total  ({_rate(n, put_s)})",
+        f"  get (hit)   : {get_s * 1e3:8.2f} ms total  ({_rate(n, get_s)})",
+        f"  one computed cell ({first}): {cell_s * 1e3:.2f} ms",
+    ]
+    overhead = (fp_s + get_s) / n
+    lines.append(
+        f"  warm-hit overhead per unit: {overhead * 1e3:.3f} ms "
+        f"({overhead / cell_s * 100:.2f}% of one cell)"
+    )
+    report("bench_store", "\n".join(lines))
+
+    # The gate: a warm hit must be far cheaper than recomputing.
+    assert overhead < cell_s, "cache hit costs more than recomputing"

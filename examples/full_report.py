@@ -5,7 +5,12 @@ Runs the complete evaluation and writes ``report/REPORT.md`` plus one
 CSV per table/figure (for pandas/R/spreadsheets), using the library's
 export helpers.
 
-Run:  python examples/full_report.py [scale] [outdir]
+With a cache directory the figure/table drivers run through the
+content-addressed result store (see docs/CACHING.md): a re-run after a
+crash — or after a code change that only affects some drivers —
+recomputes only the units whose fingerprints changed.
+
+Run:  python examples/full_report.py [scale] [outdir] [cache_dir]
 """
 
 import sys
@@ -14,15 +19,12 @@ from pathlib import Path
 from repro.analysis import (
     astar_scaling,
     average_row,
-    figure5,
-    figure6,
-    figure7,
-    figure8,
+    format_errors,
     format_figure,
     format_table,
+    run_parallel,
     save_csv,
     table1,
-    table2,
 )
 from repro.analysis.experiments import grand_comparison
 from repro.workloads import dacapo
@@ -33,6 +35,7 @@ SERIES = ["lower_bound", "iar", "default", "base_level", "optimizing_level"]
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.005
     outdir = Path(sys.argv[2]) if len(sys.argv) > 2 else Path("report")
+    cache_dir = sys.argv[3] if len(sys.argv) > 3 else None
     outdir.mkdir(parents=True, exist_ok=True)
 
     sections = []
@@ -49,28 +52,43 @@ def main() -> None:
 
     emit("table1", table1(scale=scale), "Table 1 — benchmarks")
 
+    # All five paper drivers in one fault-tolerant, resumable pass;
+    # with cache_dir, already-computed cells are served from the store.
+    print("running figures 5-8 and table 2 ...")
+    run = run_parallel(
+        suite,
+        drivers=("figure5", "figure6", "figure7", "figure8", "table2"),
+        cache=cache_dir,
+        resume=cache_dir is not None,
+        max_retries=2,
+    )
+    warnings = format_errors(run.errors)
+    if warnings:
+        print(warnings, file=sys.stderr)
+    if cache_dir is not None:
+        print(
+            f"cache: {run.cache_hits} hits / {run.cache_misses} misses "
+            f"({cache_dir})"
+        )
+
     for name, title, driver in (
-        ("fig5", "Figure 5 — default cost-benefit model", figure5),
-        ("fig6", "Figure 6 — oracle cost-benefit model", figure6),
+        ("fig5", "Figure 5 — default cost-benefit model", "figure5"),
+        ("fig6", "Figure 6 — oracle cost-benefit model", "figure6"),
     ):
-        print(f"running {name} ...")
-        rows = driver(suite)
+        rows = list(run.rows[driver])
         rows.insert(0, average_row(rows, SERIES, mean="geo"))
         emit(name, rows, title, series=SERIES)
 
-    print("running fig7 ...")
-    rows7 = figure7(suite)
+    rows7 = list(run.rows["figure7"])
     cores = [c for c in rows7[0] if c.startswith("cores_")]
     rows7.insert(0, average_row(rows7, cores))
     emit("fig7", rows7, "Figure 7 — concurrent JIT", series=cores)
 
-    print("running fig8 ...")
-    rows8 = figure8(suite)
+    rows8 = list(run.rows["figure8"])
     rows8.insert(0, average_row(rows8, SERIES, mean="geo"))
     emit("fig8", rows8, "Figure 8 — V8 scheme", series=SERIES)
 
-    print("running table2 ...")
-    emit("table2", table2(suite), "Table 2 — IAR overhead")
+    emit("table2", run.rows["table2"], "Table 2 — IAR overhead")
 
     print("running A*-search scaling ...")
     emit("astar", astar_scaling(max_frontier=200_000), "A*-search feasibility")

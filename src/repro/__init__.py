@@ -19,7 +19,9 @@ The package is organized as:
   table and figure in the paper's evaluation;
 * :mod:`repro.observability` — zero-dependency trace events and
   metrics: record any engine's run on a virtual-time timeline and
-  export it as a Chrome/Perfetto trace file.
+  export it as a Chrome/Perfetto trace file;
+* :mod:`repro.store` — the content-addressed experiment result store
+  and suite-run checkpoints behind ``repro study --cache-dir/--resume``.
 
 Quickstart::
 
@@ -31,7 +33,7 @@ Quickstart::
     print(result.makespan, core.lower_bound(inst))
 """
 
-from . import analysis, core, jitsim, observability, vm, workloads
+from . import analysis, core, jitsim, observability, store, vm, workloads
 from .core import (
     CompileTask,
     FunctionProfile,
@@ -52,6 +54,7 @@ __all__ = [
     "workloads",
     "analysis",
     "observability",
+    "store",
     "FunctionProfile",
     "OCSPInstance",
     "Schedule",

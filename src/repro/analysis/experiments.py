@@ -22,10 +22,20 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.astar import AStarMemoryExceeded, astar_schedule
+from ..store import (
+    CODE_VERSION,
+    ResultStore,
+    RunState,
+    UnitRecord,
+    fingerprint_unit,
+    load_runstate,
+)
 from ..core.bounds import lower_bound
 from ..core.iar import IARParams, iar
 from ..core.makespan import simulate
@@ -443,15 +453,19 @@ def grand_comparison(
 
 
 # ----------------------------------------------------------------------
-# Parallel experiment runner
+# Fault-tolerant parallel experiment runner
 # ----------------------------------------------------------------------
 #
 # Every figure/table driver above computes each benchmark's row
 # independently, so a (driver, benchmark) pair is a natural unit of
 # work: the suite fans out across processes and the rows reassemble in
 # suite order, yielding results numerically identical to the serial
-# path.  A unit that raises is reported as an error entry instead of
-# killing the run — one failing trace degrades the study gracefully.
+# path.  Units are treated as idempotent jobs, in the sense of the
+# scheduling-at-scale literature: results live in a content-addressed
+# :class:`repro.store.ResultStore`, progress is journaled per unit so a
+# killed run resumes where it stopped, and worker failures — a raising
+# driver, a hung worker, a worker killed by the OS — retry with
+# exponential backoff instead of aborting the suite.
 
 PARALLEL_DRIVERS: Dict[str, Callable[..., List[Dict[str, object]]]] = {}
 
@@ -465,6 +479,16 @@ for _driver in (figure5, figure6, figure7, figure8, table2):
     _parallel_driver(_driver)
 
 
+# Poll interval of the scheduling loop (retry release, timeout checks).
+_POOL_TICK_S = 0.05
+# A worker crash breaks the whole ProcessPoolExecutor; the runner
+# rebuilds it and resumes.  Past this many rebuilds the pool is judged
+# unusable and the remaining units fail (never falling back to in-
+# process execution: the unit that keeps killing workers would then
+# kill the caller).
+_MAX_POOL_REBUILDS = 8
+
+
 @dataclass(frozen=True)
 class SuiteRun:
     """Outcome of :func:`run_parallel`.
@@ -476,15 +500,63 @@ class SuiteRun:
         errors: one entry per failed (driver, benchmark) unit:
             ``{"driver", "benchmark", "error"}``.
         jobs: worker processes actually used (1 = serial).
+        statuses: unit key (``"driver/benchmark"``) → final status:
+            ``cached`` (served from the result store or the resume
+            journal), ``computed`` (ran, first attempt), ``retried``
+            (ran, after at least one failed attempt or pool rebuild),
+            ``failed`` (attempts exhausted), or ``timed_out`` (attempts
+            exhausted, last attempt exceeded the wall-clock budget).
+        cache_hits: units served without recomputation (= the number of
+            ``cached`` statuses); 0 when no store/journal was in play.
+        cache_misses: units that had to be (re)computed despite a store
+            or journal being available.
     """
 
     rows: Dict[str, List[Dict[str, object]]]
     errors: Tuple[Dict[str, str], ...]
     jobs: int
+    statuses: Dict[str, str] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.errors
+
+    def status_counts(self) -> Dict[str, int]:
+        """Histogram of per-unit statuses (for summaries and tests)."""
+        counts: Dict[str, int] = {}
+        for status in self.statuses.values():
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+
+class _UnitState:
+    """Mutable bookkeeping for one (driver, benchmark) unit."""
+
+    __slots__ = (
+        "driver", "bench", "kwargs", "fingerprint",
+        "attempts", "status", "rows", "error", "suspect",
+    )
+
+    def __init__(self, driver: str, bench: str, kwargs: Dict[str, object]):
+        self.driver = driver
+        self.bench = bench
+        self.kwargs = kwargs
+        self.fingerprint = ""
+        self.attempts = 0
+        self.status = "pending"
+        self.rows: Optional[List[Dict[str, object]]] = None
+        self.error: Optional[str] = None
+        # Set when this unit was in flight during a pool breakage: the
+        # crasher is indistinguishable from its victims, so all of them
+        # are re-probed one at a time until exonerated (see
+        # :func:`_execute_pool`).
+        self.suspect = False
+
+    @property
+    def key(self) -> str:
+        return f"{self.driver}/{self.bench}"
 
 
 # Set (in the parent) right before a fork-context pool spawns its
@@ -506,14 +578,315 @@ def _run_unit(unit):
         return driver_name, bench_name, [], f"{type(exc).__name__}: {exc}"
 
 
+def _execute_serial(
+    pending: List[_UnitState],
+    suite: Suite,
+    max_retries: int,
+    retry_backoff: float,
+    finalize: Callable[[_UnitState], None],
+    metrics=None,
+) -> None:
+    """In-process execution with the same retry contract as the pool
+    path (timeouts are not enforceable without a second process)."""
+    for state in pending:
+        while True:
+            state.attempts += 1
+            _, _, rows, error = _run_unit(
+                (state.driver, state.bench, suite[state.bench], state.kwargs)
+            )
+            if error is None:
+                state.rows = rows
+                state.status = "computed" if state.attempts == 1 else "retried"
+                break
+            state.error = error
+            if state.attempts > max_retries:
+                state.status = "failed"
+                break
+            if metrics is not None:
+                metrics.counter("runner.retries").inc()
+            time.sleep(retry_backoff * (2 ** (state.attempts - 1)))
+        finalize(state)
+
+
+def _shutdown_pool(pool) -> None:
+    """Tear a pool down even when a worker is stuck mid-task: cancel
+    queued work, then terminate the worker processes (a hung task would
+    otherwise pin its worker — and the caller — forever)."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+def _execute_pool(
+    pending: List[_UnitState],
+    suite: Suite,
+    jobs: int,
+    timeout: Optional[float],
+    max_retries: int,
+    retry_backoff: float,
+    finalize: Callable[[_UnitState], None],
+    metrics=None,
+) -> bool:
+    """Run ``pending`` units on a process pool; ``False`` means no pool
+    could be created at all (caller degrades to the serial path).
+
+    Fault model:
+
+    * a unit whose driver *raises* returns an error outcome and is
+      retried with exponential backoff, then marked ``failed``;
+    * a unit that runs past ``timeout`` wall-clock seconds is charged a
+      timed-out attempt; its worker is reclaimed by rebuilding the pool
+      (there is no portable way to kill one pool worker), and the unit
+      is retried, then marked ``timed_out``;
+    * a worker *process death* (OOM kill, segfault, ``os._exit``)
+      breaks the whole executor with ``BrokenProcessPool``, for the
+      crasher and every innocent in-flight unit alike.  Nobody is
+      charged unless exactly one unit was in flight; instead all
+      victims become *suspects* and are re-probed one at a time on the
+      rebuilt pool, so the next breakage identifies its culprit
+      unambiguously and innocents complete unharmed.  Completed units
+      are never recomputed — ``finalize`` journals them the moment
+      they finish.
+    """
+    global _FORK_SUITE
+    try:
+        import concurrent.futures as cf
+        import multiprocessing
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:
+        return False
+
+    use_fork = "fork" in multiprocessing.get_all_start_methods()
+    # Fork workers inherit ``suite`` (and every imported module) via
+    # copy-on-write, so units ship as names only.  Shipping the
+    # instances themselves through the pickle pipe costs more than the
+    # driver work saves.
+    mp_context = multiprocessing.get_context("fork") if use_fork else None
+    max_workers = min(jobs, len(pending))
+
+    def payload(state: _UnitState):
+        instance = None if use_fork else suite[state.bench]
+        return (state.driver, state.bench, instance, state.kwargs)
+
+    def make_pool():
+        return cf.ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=mp_context
+        )
+
+    try:
+        if use_fork:
+            _FORK_SUITE = suite
+        try:
+            pool = make_pool()
+        except (ImportError, OSError, PermissionError, BrokenProcessPool):
+            # No usable multiprocessing (restricted sandbox, missing
+            # /dev/shm, ...): degrade to the serial path.
+            return False
+
+        queue = deque(pending)
+        retry_at: List[Tuple[float, _UnitState]] = []
+        inflight: Dict[object, List] = {}  # future -> [state, started_at]
+        rebuilds = 0
+
+        def give_up(state: _UnitState, status: str, error: str) -> None:
+            state.status = status
+            state.error = error
+            finalize(state)
+
+        def charge_failure(
+            state: _UnitState, error: str, exhausted_status: str
+        ) -> None:
+            """One attempt just failed: retry with backoff or give up."""
+            state.error = error
+            if state.attempts > max_retries:
+                give_up(state, exhausted_status, error)
+                return
+            if metrics is not None:
+                metrics.counter("runner.retries").inc()
+            delay = retry_backoff * (2 ** (state.attempts - 1))
+            retry_at.append((time.monotonic() + delay, state))
+
+        while queue or retry_at or inflight:
+            now = time.monotonic()
+            if retry_at:
+                due = [item for item in retry_at if item[0] <= now]
+                if due:
+                    retry_at = [item for item in retry_at if item[0] > now]
+                    queue.extend(state for _, state in due)
+
+            broken = False
+            repool = False
+            crash_victims: List[_UnitState] = []
+            while queue:
+                if any(state.suspect for state in queue):
+                    # Quarantine: probe one suspect at a time, alone on
+                    # the pool, so a repeat crash names its culprit.
+                    if inflight:
+                        break
+                    probe = next(i for i, s in enumerate(queue) if s.suspect)
+                    state = queue[probe]
+                    del queue[probe]
+                else:
+                    state = queue.popleft()
+                try:
+                    future = pool.submit(_run_unit, payload(state))
+                except (BrokenProcessPool, RuntimeError):
+                    queue.appendleft(state)
+                    broken = True
+                    break
+                inflight[future] = [state, None]
+                if state.suspect:
+                    break  # nothing else rides along with a suspect
+
+            if not broken and inflight:
+                done, _ = cf.wait(
+                    set(inflight),
+                    timeout=_POOL_TICK_S,
+                    return_when=cf.FIRST_COMPLETED,
+                )
+                for future in done:
+                    state, _started = inflight.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        crash_victims.append(state)
+                        continue
+                    except cf.CancelledError:
+                        queue.append(state)
+                        continue
+                    except Exception as exc:
+                        state.attempts += 1
+                        charge_failure(
+                            state, f"{type(exc).__name__}: {exc}", "failed"
+                        )
+                        continue
+                    state.attempts += 1
+                    state.suspect = False  # completed: exonerated
+                    _, _, rows, error = outcome
+                    if error is None:
+                        state.rows = rows
+                        state.status = (
+                            "computed" if state.attempts == 1 else "retried"
+                        )
+                        finalize(state)
+                    else:
+                        charge_failure(state, error, "failed")
+
+                # Timeout accounting: the clock starts when a unit is
+                # first *observed* executing (not when it was queued
+                # behind other units).
+                now = time.monotonic()
+                for future, pair in list(inflight.items()):
+                    state, started_at = pair
+                    if started_at is None:
+                        if future.running():
+                            pair[1] = now
+                    elif timeout is not None and now - started_at > timeout:
+                        del inflight[future]
+                        state.attempts += 1
+                        charge_failure(
+                            state,
+                            f"unit exceeded the {timeout:.4g}s wall-clock "
+                            "timeout",
+                            "timed_out",
+                        )
+                        # The stuck worker can only be reclaimed by
+                        # rebuilding the pool; the culprit is known, so
+                        # other in-flight units requeue uncharged and
+                        # unsuspected.
+                        repool = True
+            elif not broken and retry_at:
+                # Nothing running or submittable: sleep until the next
+                # retry comes due.
+                next_due = min(due_time for due_time, _ in retry_at)
+                time.sleep(
+                    max(0.0, min(next_due - time.monotonic(), _POOL_TICK_S))
+                )
+
+            if broken or repool:
+                rebuilds += 1
+                if metrics is not None:
+                    metrics.counter("runner.pool_rebuilds").inc()
+                if broken:
+                    victims = crash_victims + [
+                        state for state, _ in inflight.values()
+                    ]
+                    inflight.clear()
+                    if len(victims) == 1:
+                        # Alone on the pool when it broke: guilty.
+                        state = victims[0]
+                        state.suspect = True
+                        state.attempts += 1
+                        charge_failure(
+                            state,
+                            "worker process died before returning a result "
+                            "(BrokenProcessPool)",
+                            "failed",
+                        )
+                    else:
+                        # Crasher unknown: every victim requeues as a
+                        # suspect, uncharged, to be probed one by one.
+                        for state in victims:
+                            state.suspect = True
+                            queue.append(state)
+                else:
+                    # Timeout repool: in-flight survivors requeue
+                    # uncharged.
+                    for state, _ in inflight.values():
+                        queue.append(state)
+                    inflight.clear()
+                _shutdown_pool(pool)
+                survivors = list(queue) + [state for _, state in retry_at]
+                if rebuilds > _MAX_POOL_REBUILDS:
+                    for state in survivors:
+                        give_up(
+                            state,
+                            "failed",
+                            "process pool kept breaking "
+                            f"({rebuilds} rebuilds); giving up",
+                        )
+                    queue.clear()
+                    retry_at = []
+                    return True
+                try:
+                    pool = make_pool()
+                except (ImportError, OSError, PermissionError, BrokenProcessPool):
+                    for state in survivors:
+                        give_up(
+                            state, "failed", "process pool could not be rebuilt"
+                        )
+                    queue.clear()
+                    retry_at = []
+                    return True
+
+        _shutdown_pool(pool)
+        return True
+    finally:
+        _FORK_SUITE = None
+
+
 def run_parallel(
     suite: Suite,
     drivers: Sequence[str] = ("figure5", "figure6", "figure7", "figure8", "table2"),
     jobs: Optional[int] = None,
     driver_kwargs: Optional[Dict[str, Dict[str, object]]] = None,
+    cache: Optional[Union[str, Path, ResultStore]] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.1,
+    metrics=None,
 ) -> SuiteRun:
     """Run experiment drivers over a suite, fanning benchmarks out
-    across processes.
+    across processes, with caching, checkpointing, and fault tolerance.
 
     Args:
         suite: ``{benchmark: instance}`` (e.g. from
@@ -523,10 +896,30 @@ def run_parallel(
             and ``1`` runs serially (same code path, same isolation).
         driver_kwargs: optional per-driver keyword arguments (e.g.
             ``{"figure5": {"model_seed": 1}}``).
+        cache: a :class:`repro.store.ResultStore` or a directory for
+            one.  Units whose fingerprint is already in the store are
+            served from it; newly computed rows are written back.
+        checkpoint: path of the per-run journal.  Defaults to
+            ``<cache>/runstate.jsonl`` when ``cache`` is given; with
+            neither, no journal is written.
+        resume: reuse completed units from an existing ``checkpoint``
+            journal (fingerprints must still match — a changed input
+            forces recomputation).
+        timeout: per-unit wall-clock budget in seconds (enforced on the
+            process-pool path only; the serial path cannot preempt).
+        max_retries: failed/timed-out attempts retried per unit before
+            the unit is marked ``failed``/``timed_out``.
+        retry_backoff: base of the exponential retry delay
+            (``retry_backoff * 2**(attempt-1)`` seconds).
+        metrics: optional :class:`repro.observability.MetricsRegistry`;
+            receives ``runner.units.*`` status counters,
+            ``runner.retries``, ``runner.pool_rebuilds``, and
+            ``store.{hits,misses,puts}``.
 
     Returns:
         A :class:`SuiteRun`; row ordering is deterministic (driver
-        order, then suite insertion order) regardless of ``jobs``.
+        order, then suite insertion order) regardless of ``jobs``,
+        retries, or cache state.
 
     Raises:
         KeyError: for an unknown driver name.
@@ -538,66 +931,143 @@ def run_parallel(
                 f"unknown driver {name!r}; available: "
                 f"{sorted(PARALLEL_DRIVERS)}"
             )
-    units = [
-        (driver, bench, instance, driver_kwargs.get(driver, {}))
+    states = [
+        _UnitState(driver, bench, driver_kwargs.get(driver, {}))
         for driver in drivers
-        for bench, instance in suite.items()
+        for bench in suite
     ]
-    if jobs is None:
-        try:
-            available = len(os.sched_getaffinity(0))
-        except AttributeError:  # macOS / Windows
-            available = os.cpu_count() or 1
-        jobs = min(available, max(len(units), 1))
-    jobs = max(1, int(jobs))
 
-    outcomes = None
+    store: Optional[ResultStore] = None
+    if cache is not None:
+        store = cache if isinstance(cache, ResultStore) else ResultStore(cache)
+    if checkpoint is None and store is not None:
+        checkpoint = store.root / "runstate.jsonl"
+    keyed = store is not None or checkpoint is not None
+    if keyed:
+        for state in states:
+            state.fingerprint = fingerprint_unit(
+                suite[state.bench],
+                state.driver,
+                state.kwargs,
+                benchmark=state.bench,
+            )
+
+    store_hits_before = store.hits if store is not None else 0
+    store_misses_before = store.misses if store is not None else 0
+    store_puts_before = store.puts if store is not None else 0
+
+    # Resolve units that need no computation: the resume journal first
+    # (no store round-trip), then the content-addressed store.
+    if resume and checkpoint is not None:
+        previous = load_runstate(checkpoint)
+        for state in states:
+            record = previous.get(state.key)
+            if (
+                record is not None
+                and record.resumable
+                and record.fingerprint == state.fingerprint
+            ):
+                state.rows = record.rows
+                state.status = "cached"
+                state.attempts = record.attempts
+    if store is not None:
+        for state in states:
+            if state.status != "pending":
+                continue
+            rows = store.get(state.fingerprint)
+            if rows is not None:
+                state.rows = rows
+                state.status = "cached"
+
+    journal: Optional[RunState] = None
+    if checkpoint is not None:
+        journal = RunState(checkpoint)
+        journal.begin({state.key: state.fingerprint for state in states})
+
+    def finalize(state: _UnitState) -> None:
+        """Journal + persist a unit the moment its status is final."""
+        if metrics is not None:
+            metrics.counter(f"runner.units.{state.status}").inc()
+        if journal is not None:
+            journal.record(
+                UnitRecord(
+                    state.key,
+                    state.fingerprint,
+                    state.status,
+                    rows=state.rows,
+                    error=state.error,
+                    attempts=max(state.attempts, 1),
+                )
+            )
+        if store is not None and state.status in ("computed", "retried"):
+            store.put(
+                state.fingerprint,
+                state.rows,
+                driver=state.driver,
+                benchmark=state.bench,
+                code_version=CODE_VERSION,
+            )
+
     used_jobs = 1
-    if jobs > 1 and len(units) > 1:
-        global _FORK_SUITE
-        try:
-            import concurrent.futures
-            import multiprocessing
+    try:
+        for state in states:
+            if state.status == "cached":
+                finalize(state)
+        pending = [state for state in states if state.status == "pending"]
+        if pending:
+            if jobs is None:
+                try:
+                    available = len(os.sched_getaffinity(0))
+                except AttributeError:  # macOS / Windows
+                    available = os.cpu_count() or 1
+                jobs = min(available, len(pending))
+            jobs = max(1, int(jobs))
+            pooled = False
+            if jobs > 1 and len(pending) > 1:
+                pooled = _execute_pool(
+                    pending, suite, jobs, timeout, max_retries,
+                    retry_backoff, finalize, metrics,
+                )
+                if pooled:
+                    used_jobs = min(jobs, len(pending))
+            if not pooled:
+                _execute_serial(
+                    pending, suite, max_retries, retry_backoff, finalize,
+                    metrics,
+                )
+    finally:
+        if journal is not None:
+            journal.close()
 
-            if "fork" in multiprocessing.get_all_start_methods():
-                # Fork workers inherit ``suite`` (and every imported
-                # module) via copy-on-write, so units ship as names
-                # only.  Shipping the instances themselves through the
-                # pickle pipe costs more than the driver work saves.
-                mp_context = multiprocessing.get_context("fork")
-                pool_units = [
-                    (driver, bench, None, kwargs)
-                    for driver, bench, _, kwargs in units
-                ]
-                _FORK_SUITE = suite
-            else:
-                mp_context = None
-                pool_units = units
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(jobs, len(units)), mp_context=mp_context
-            ) as pool:
-                outcomes = list(pool.map(_run_unit, pool_units, chunksize=1))
-            used_jobs = min(jobs, len(units))
-        except (ImportError, OSError, PermissionError):
-            # No usable multiprocessing (restricted sandbox, missing
-            # /dev/shm, ...): degrade to the serial path.
-            outcomes = None
-        finally:
-            _FORK_SUITE = None
-    if outcomes is None:
-        outcomes = [_run_unit(unit) for unit in units]
-        used_jobs = 1
+    if metrics is not None and store is not None:
+        metrics.counter("store.hits").inc(store.hits - store_hits_before)
+        metrics.counter("store.misses").inc(store.misses - store_misses_before)
+        metrics.counter("store.puts").inc(store.puts - store_puts_before)
 
     rows: Dict[str, List[Dict[str, object]]] = {name: [] for name in drivers}
     errors: List[Dict[str, str]] = []
-    for driver_name, bench_name, unit_rows, error in outcomes:
-        if error is not None:
+    statuses: Dict[str, str] = {}
+    for state in states:
+        statuses[state.key] = state.status
+        if state.status in ("failed", "timed_out"):
             errors.append(
-                {"driver": driver_name, "benchmark": bench_name, "error": error}
+                {
+                    "driver": state.driver,
+                    "benchmark": state.bench,
+                    "error": state.error or state.status,
+                }
             )
             continue
-        rows[driver_name].extend(unit_rows)
-    return SuiteRun(rows=rows, errors=tuple(errors), jobs=used_jobs)
+        rows[state.driver].extend(state.rows or [])
+    cached_count = sum(1 for s in states if s.status == "cached")
+    return SuiteRun(
+        rows=rows,
+        errors=tuple(errors),
+        jobs=used_jobs,
+        statuses=statuses,
+        cache_hits=cached_count if keyed else 0,
+        cache_misses=(len(states) - cached_count) if keyed else 0,
+    )
 
 
 def average_row(

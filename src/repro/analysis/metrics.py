@@ -9,7 +9,7 @@ place.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Sequence
 
 __all__ = [
     "normalized",

@@ -27,7 +27,7 @@ NP-hardness only — see DESIGN.md's substitution table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .makespan import simulate
 from .model import FunctionProfile, OCSPInstance

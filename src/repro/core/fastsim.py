@@ -45,7 +45,7 @@ import heapq
 import math
 from bisect import bisect_left
 from itertools import accumulate
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .makespan import (
     CallTiming,

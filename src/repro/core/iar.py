@@ -34,7 +34,7 @@ model's choices via ``high_levels``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from .fastsim import FastSimulator

@@ -27,7 +27,7 @@ Model (Sections 3, 4.2, 6.2.3):
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .model import OCSPInstance

@@ -22,13 +22,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from .bounds import lower_bound
 from .iar import IARParams, iar
 from .makespan import simulate
 from .model import FunctionProfile, OCSPInstance
-from .schedule import CompileTask, Schedule
+from .schedule import CompileTask
 
 __all__ = [
     "perturb_times",

@@ -32,7 +32,7 @@ before observations accumulate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from .bounds import lower_bound
 from .iar import IARParams, iar

@@ -10,9 +10,9 @@ per-function cost tables, fully determines the make-span.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from .model import ModelError, OCSPInstance
+from .model import OCSPInstance
 
 __all__ = ["CompileTask", "Schedule", "ScheduleError"]
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from .makespan import MakespanResult, _compile_task_finishes

@@ -33,7 +33,7 @@ opcode         argument   effect
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = ["Op", "Instr", "BytecodeFunction", "Program", "BytecodeError", "OPCODES"]

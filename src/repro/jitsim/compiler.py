@@ -20,8 +20,8 @@ different OCSP instances (see DESIGN.md's substitution table).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from ..core.model import FunctionProfile
 from .bytecode import BytecodeFunction

@@ -14,7 +14,7 @@ that effect can be measured instead of discussed:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from .bytecode import BytecodeFunction, Instr, Program
 

@@ -12,10 +12,10 @@ into the results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from .bytecode import BytecodeFunction, Instr, Program
+from .bytecode import BytecodeFunction, Program
 
 __all__ = ["VMError", "InvocationRecord", "RunTrace", "Interpreter", "CYCLE_US"]
 

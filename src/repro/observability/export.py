@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, Iterable, Iterator, List, Tuple, Union
+from typing import Any, Dict, Iterator, List, Tuple, Union
 
 from .tracer import Tracer, TraceScope
 

@@ -11,7 +11,7 @@ emergent and never materialized.
 
 from __future__ import annotations
 
-from .tracer import TraceError, Tracer, TraceScope
+from .tracer import TraceError
 
 __all__ = ["trace_makespan_result"]
 

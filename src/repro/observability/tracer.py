@@ -21,7 +21,7 @@ exporter renders as separate processes — e.g. the ``iar`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 __all__ = ["TraceEvent", "Tracer", "TraceScope", "TraceError"]

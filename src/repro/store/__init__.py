@@ -1,0 +1,39 @@
+"""Content-addressed experiment result store (cache + checkpoints).
+
+The study grid — (benchmark × driver × model × thread-count) — is pure:
+every cell's rows are a function of the instance, the driver, its
+kwargs, and the code version.  This package gives that purity teeth:
+
+* :mod:`repro.store.fingerprint` — a stable SHA-256 key over exactly
+  those inputs, so a cell's identity changes iff its inputs do;
+* :mod:`repro.store.cache` — :class:`ResultStore`, an on-disk JSON
+  store with atomic writes and ``stats``/``gc``/``clear`` maintenance;
+* :mod:`repro.store.runstate` — :class:`RunState`, the per-run journal
+  that lets a killed suite resume from its last completed unit.
+
+:func:`repro.analysis.run_parallel` drives all three; the CLI surface
+is ``repro study --cache-dir/--resume`` and ``repro cache
+{stats,gc,clear}``.  See ``docs/CACHING.md`` for the layout and the
+invalidation contract.
+"""
+
+from .fingerprint import (
+    CODE_VERSION,
+    canonical_encode,
+    fingerprint_instance,
+    fingerprint_unit,
+)
+from .cache import ResultStore, StoreStats
+from .runstate import RunState, UnitRecord, load_runstate
+
+__all__ = [
+    "CODE_VERSION",
+    "canonical_encode",
+    "fingerprint_instance",
+    "fingerprint_unit",
+    "ResultStore",
+    "StoreStats",
+    "RunState",
+    "UnitRecord",
+    "load_runstate",
+]

@@ -1,0 +1,148 @@
+"""Suite-run checkpointing: resume a killed study where it stopped.
+
+A :class:`RunState` is an append-only JSONL journal.  The first record
+describes the planned unit grid (unit key → fingerprint); every
+completed unit then appends one record carrying its status, rows, and
+error.  Appends are flushed and fsynced per unit, so after a crash the
+journal holds every unit that finished — at worst the final line is
+torn, and :func:`load_runstate` silently drops a trailing partial line
+(it can only be the interrupted append).
+
+On resume the runner replays the journal and skips any unit whose
+recorded fingerprint still matches the unit it is about to run —
+a changed instance, driver argument, or code-version salt changes the
+fingerprint and forces recomputation, exactly like a cache miss.
+Journal rows are stored inline so resume works with or without a
+:class:`~repro.store.cache.ResultStore` behind it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["UnitRecord", "RunState", "load_runstate"]
+
+_STATE_VERSION = 1
+
+# Statuses that carry reusable rows.  "failed"/"timed_out" records are
+# journaled too (for reporting), but a resume retries those units.
+_RESUMABLE = frozenset({"cached", "computed", "retried"})
+
+
+class UnitRecord:
+    """One journaled unit outcome."""
+
+    __slots__ = ("key", "fingerprint", "status", "rows", "error", "attempts")
+
+    def __init__(
+        self,
+        key: str,
+        fingerprint: str,
+        status: str,
+        rows: Optional[List[Dict[str, object]]] = None,
+        error: Optional[str] = None,
+        attempts: int = 1,
+    ) -> None:
+        self.key = key
+        self.fingerprint = fingerprint
+        self.status = status
+        self.rows = rows
+        self.error = error
+        self.attempts = attempts
+
+    @property
+    def resumable(self) -> bool:
+        return self.status in _RESUMABLE and self.rows is not None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "unit",
+            "key": self.key,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "rows": self.rows,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+class RunState:
+    """Writer for a suite-run journal (see module docs)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    def begin(self, plan: Dict[str, str]) -> None:
+        """Start a fresh journal for ``plan`` (unit key → fingerprint).
+
+        Truncates any previous journal at this path: the caller decides
+        whether to :func:`load_runstate` it first (``--resume``).
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._append({"kind": "header", "version": _STATE_VERSION, "plan": plan})
+
+    def record(self, record: UnitRecord) -> None:
+        """Append one completed unit, durably (flush + fsync)."""
+        if self._fh is None:
+            raise RuntimeError("RunState.begin() must be called before record()")
+        self._append(record.as_dict())
+
+    def _append(self, doc: Dict[str, object]) -> None:
+        self._fh.write(json.dumps(doc, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunState":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_runstate(path: Union[str, Path]) -> Dict[str, UnitRecord]:
+    """Completed units from a journal: unit key → latest record.
+
+    Missing file → empty dict.  A torn final line (crash mid-append) is
+    dropped; a torn line anywhere else raises ``ValueError`` — that is
+    not crash damage but file corruption, and resuming from it could
+    silently lose completed units.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except FileNotFoundError:
+        return {}
+    records: Dict[str, UnitRecord] = {}
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            if index == len(lines) - 1:
+                break  # interrupted final append
+            raise ValueError(
+                f"{path}: corrupt journal line {index + 1} "
+                "(not the final line, so not crash damage)"
+            )
+        if doc.get("kind") != "unit":
+            continue
+        records[doc["key"]] = UnitRecord(
+            key=doc["key"],
+            fingerprint=doc.get("fingerprint", ""),
+            status=doc.get("status", ""),
+            rows=doc.get("rows"),
+            error=doc.get("error"),
+            attempts=int(doc.get("attempts", 1)),
+        )
+    return records

@@ -11,7 +11,7 @@ in a *planned* order — which is exactly the gap IAR exposes.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..core.model import OCSPInstance
 from .runtime import RuntimeRunResult, RuntimeScheme, RuntimeSimulator

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.model import OCSPInstance

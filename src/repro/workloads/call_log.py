@@ -22,9 +22,9 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
-from ..core.model import FunctionProfile, ModelError, OCSPInstance
+from ..core.model import FunctionProfile, OCSPInstance
 
 __all__ = ["parse_call_log", "parse_cost_table", "instance_from_logs"]
 

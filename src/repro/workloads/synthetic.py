@@ -25,10 +25,8 @@ All times are in microseconds.  Generation is deterministic per
 
 from __future__ import annotations
 
-import math
-import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 

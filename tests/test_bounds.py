@@ -1,6 +1,5 @@
 """Tests for the make-span lower bounds (Section 5.2)."""
 
-import pytest
 
 from repro.core import (
     FunctionProfile,

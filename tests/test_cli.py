@@ -240,3 +240,124 @@ class TestStudyTraceDir:
         files = sorted(trace_dir.glob("figure8-*.trace.json"))
         assert len(files) == 9
         validate_chrome_trace(files[0].read_text())
+
+
+class TestSeedContract:
+    """One seed rule everywhere: omitted = stable per-benchmark default,
+    an explicit integer — including 0 — is always honored."""
+
+    def _load(self, tmp_path, *argv):
+        path = tmp_path / "out.json"
+        assert main(["generate", *argv, "-o", str(path)]) == 0
+        return traces.load(path)
+
+    def test_explicit_zero_is_not_treated_as_omitted(self, tmp_path):
+        from repro.workloads import dacapo
+
+        seeded = self._load(
+            tmp_path, "--benchmark", "fop", "--scale", "0.002", "--seed", "0"
+        )
+        default = self._load(tmp_path, "--benchmark", "fop", "--scale", "0.002")
+        assert seeded.calls != default.calls, (
+            "--seed 0 must mean seed 0, not the per-benchmark default"
+        )
+        assert default.calls == dacapo.load("fop", scale=0.002).calls
+        assert seeded.calls == dacapo.load("fop", scale=0.002, seed=0).calls
+
+    def test_omitted_seed_is_stable_across_invocations(self, tmp_path):
+        a = self._load(tmp_path, "--benchmark", "fop", "--scale", "0.002")
+        b = self._load(tmp_path, "--benchmark", "fop", "--scale", "0.002")
+        assert a.calls == b.calls
+
+    def test_synthetic_defaults_to_seed_zero(self, tmp_path):
+        omitted = self._load(tmp_path, "--functions", "10", "--calls", "50")
+        explicit = self._load(
+            tmp_path, "--functions", "10", "--calls", "50", "--seed", "0"
+        )
+        assert omitted.calls == explicit.calls
+
+    def test_trace_and_generate_share_the_default(self, tmp_path, capsys):
+        # Both commands must sample the same instance when the seed is
+        # omitted (they historically disagreed: None vs 0).
+        gen = self._load(tmp_path, "--benchmark", "antlr", "--scale", "0.002")
+        trace_path = tmp_path / "antlr.trace.json"
+        assert main(
+            ["trace", "antlr", "--scale", "0.002", "-o", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        from repro.workloads import dacapo
+
+        assert gen.calls == dacapo.load("antlr", scale=0.002).calls
+
+
+class TestStudyCache:
+    def test_warm_run_is_all_hits_and_identical(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        cold_json = tmp_path / "cold.json"
+        warm_json = tmp_path / "warm.json"
+        base = [
+            "study", "--figure", "fig5", "--scale", "0.002",
+            "--cache-dir", store, "--strict",
+        ]
+        assert main(base + ["--json-out", str(cold_json)]) == 0
+        cold_out = capsys.readouterr().out
+        assert "cache: 0 hits / 9 misses" in cold_out
+
+        assert main(base + ["--json-out", str(warm_json)]) == 0
+        warm_out = capsys.readouterr().out
+        assert "cache: 9 hits / 0 misses" in warm_out
+        assert "9 cached" in warm_out
+
+        cold = json.loads(cold_json.read_text())
+        warm = json.loads(warm_json.read_text())
+        assert cold["rows"] == warm["rows"]
+        assert warm["cache_misses"] == 0
+        assert set(warm["statuses"].values()) == {"cached"}
+
+    def test_resume_flag_accepts_existing_checkpoint(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = [
+            "study", "--figure", "fig5", "--scale", "0.002",
+            "--cache-dir", store, "--resume",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "cache: 9 hits / 0 misses" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(
+            [
+                "study", "--figure", "fig5", "--scale", "0.002",
+                "--cache-dir", store,
+            ]
+        ) == 0
+        capsys.readouterr()
+        return store
+
+    def test_stats(self, tmp_path, capsys):
+        store = self._populate(tmp_path, capsys)
+        assert main(["cache", "stats", "--cache-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "entries:     9" in out
+        assert "figure5: 9" in out
+
+    def test_gc_current_code_keeps_fresh_entries(self, tmp_path, capsys):
+        store = self._populate(tmp_path, capsys)
+        assert main(
+            [
+                "cache", "gc", "--cache-dir", store,
+                "--current-code-only", "--max-age-days", "30",
+            ]
+        ) == 0
+        assert "removed 0 file(s)" in capsys.readouterr().out
+
+    def test_clear(self, tmp_path, capsys):
+        store = self._populate(tmp_path, capsys)
+        assert main(["cache", "clear", "--cache-dir", store]) == 0
+        assert "removed 9" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", store]) == 0
+        assert "entries:     0" in capsys.readouterr().out

@@ -6,7 +6,6 @@ from repro.core import (
     CompileTask,
     FunctionProfile,
     OCSPInstance,
-    Schedule,
     iar,
     iar_schedule,
     lower_bound,

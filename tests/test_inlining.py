@@ -11,7 +11,7 @@ from repro.jitsim import (
     loops_program,
     phased_program,
 )
-from repro.jitsim.inlining import inline_function, inline_program, is_inlinable
+from repro.jitsim.inlining import inline_program, is_inlinable
 
 
 def square_program():

@@ -5,10 +5,8 @@ tables are reconstructed from the timing marks printed in the figures
 (see ``tests/conftest.py``).
 """
 
-import pytest
 
 from repro.core import (
-    CompileTask,
     Schedule,
     astar_schedule,
     iar_schedule,

@@ -117,3 +117,50 @@ def test_cli_study_jobs_zero_means_one_per_cpu(capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "Table 2" in out
+
+
+# ---------------------------------------------------------------------------
+# Statuses and cache accounting (the resumable-runner surface)
+# ---------------------------------------------------------------------------
+
+
+def test_statuses_cover_every_unit(suite):
+    run = run_parallel(suite, drivers=("figure5", "table2"), jobs=1)
+    assert set(run.statuses) == {
+        f"{driver}/{bench}"
+        for driver in ("figure5", "table2")
+        for bench in suite
+    }
+    assert set(run.statuses.values()) == {"computed"}
+    assert run.status_counts() == {"computed": 2 * len(suite)}
+
+
+def test_uncached_run_reports_zero_cache_traffic(suite):
+    run = run_parallel(suite, drivers=("figure5",), jobs=1)
+    assert run.cache_hits == 0
+    assert run.cache_misses == 0
+
+
+def test_cache_dir_round_trip_preserves_rows(suite, tmp_path):
+    cold = run_parallel(
+        suite, drivers=("figure5",), jobs=1, cache=tmp_path / "store"
+    )
+    warm = run_parallel(
+        suite, drivers=("figure5",), jobs=1, cache=tmp_path / "store"
+    )
+    assert cold.rows == warm.rows == {"figure5": figure5(suite)}
+    assert cold.cache_misses == len(suite) and cold.cache_hits == 0
+    assert warm.cache_hits == len(suite) and warm.cache_misses == 0
+
+
+def test_checkpoint_journal_is_written_without_a_store(suite, tmp_path):
+    checkpoint = tmp_path / "runstate.jsonl"
+    run = run_parallel(
+        suite, drivers=("figure5",), jobs=1, checkpoint=checkpoint
+    )
+    assert run.ok
+    from repro.store import load_runstate
+
+    records = load_runstate(checkpoint)
+    assert set(records) == set(run.statuses)
+    assert all(record.resumable for record in records.values())

@@ -5,7 +5,7 @@ arbitrary call sequences) and random valid schedules, then check the
 structural invariants the rest of the library relies on.
 """
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -21,7 +21,6 @@ from repro.core import (
     simulate,
     simulate_single_core,
 )
-from repro.core.bounds import compile_aware_lower_bound
 from repro.core.singlecore import (
     single_core_optimal_makespan,
     single_core_optimal_schedule,

@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.core import (
-    FunctionProfile,
-    OCSPInstance,
-    Schedule,
-    iar_schedule,
-    lower_bound,
-    simulate,
-)
+from repro.core import FunctionProfile, OCSPInstance, Schedule, lower_bound, simulate
 from repro.core.replan import replan_iar
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import FunctionProfile, OCSPInstance
 from repro.vm.costbenefit import OracleModel
-from repro.vm.jikes import JikesScheme, run_jikes
+from repro.vm.jikes import run_jikes
 from repro.vm.runtime import RuntimeSimulator, default_sample_period
 from repro.vm.v8 import V8Scheme, run_v8
 

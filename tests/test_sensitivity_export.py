@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.export import rows_to_csv, save_csv
 from repro.analysis.sensitivity import DEFAULT_BASE_SPEC, sweep_parameter
-from repro.workloads.synthetic import WorkloadSpec
 from dataclasses import replace
 
 SMALL = replace(DEFAULT_BASE_SPEC, num_functions=30, num_calls=4000)

@@ -1,6 +1,5 @@
 """Tests for single-level approximations (Section 5.1)."""
 
-import pytest
 
 from repro.core import simulate
 from repro.core.single_level import (

@@ -1,10 +1,8 @@
 """Tests for repository tooling (docs generation)."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
-import pytest
 
 TOOLS = Path(__file__).resolve().parent.parent / "tools"
 

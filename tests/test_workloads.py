@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.model import ModelError
 from repro.workloads import WorkloadSpec, generate
 from repro.workloads.dacapo import (
     BENCHMARKS,
