@@ -1,11 +1,16 @@
-"""Tracing-disabled overhead of the instrumented engines.
+"""Tracing- and metrics-disabled overhead of the instrumented engines.
 
 The observability layer's contract is "disabled means absent": with
-``tracer=None`` (the default everywhere) the only added cost on a hot
-path is one ``is None`` branch per emission site.  This harness times
-the public ``simulate()`` (which now routes through the tracer check)
-against the private ``_simulate`` body it wraps, and asserts the ratio
-stays under ``REPRO_TRACE_OVERHEAD_MAX`` (default 1.05, i.e. < 5%).
+``tracer=None`` / ``metrics=None`` (the defaults everywhere) the only
+added cost on a hot path is one ``is None`` branch per emission site.
+This harness times the public ``simulate()`` (which now routes through
+the tracer and metrics checks) against the private ``_simulate`` body
+it wraps, and asserts the ratio stays under
+``REPRO_TRACE_OVERHEAD_MAX`` (default 1.05, i.e. < 5%).  The same
+discipline covers the perf counter hooks: a ``FastSimulator`` with no
+registry attached must evaluate at parity with one that never heard of
+metrics — counting happens at call boundaries, never inside the replay
+loops.
 
 Also usable as a plain script for the CI smoke job::
 
@@ -81,6 +86,49 @@ def test_traced_run_equals_untraced_run():
     assert traced.total_bubble_time == plain.total_bubble_time
 
 
+def measure_metrics_overhead_ratio(repeats: int = 5) -> float:
+    """FastSimulator evaluate with metrics=None vs enabled registry.
+
+    The disabled path must be at parity (the counter hooks sit at call
+    boundaries, so even the *enabled* path adds only O(1) per call) —
+    the ratio here is disabled/enabled, expected ~1.0.
+    """
+    from repro.core.fastsim import FastSimulator
+    from repro.observability import MetricsRegistry
+
+    disabled = FastSimulator(INSTANCE)
+    enabled = FastSimulator(INSTANCE, metrics=MetricsRegistry())
+    disabled.evaluate(SCHEDULE)
+    enabled.evaluate(SCHEDULE)
+    t_disabled = _best_of(lambda: disabled.evaluate(SCHEDULE), repeats)
+    t_enabled = _best_of(lambda: enabled.evaluate(SCHEDULE), repeats)
+    return t_disabled / t_enabled
+
+
+def test_metrics_disabled_runs_at_parity():
+    # Guard against hooks creeping into the replay loops: disabled must
+    # not be slower than enabled beyond the noise limit (enabled does
+    # strictly more work, so disabled/enabled > limit means the
+    # disabled path itself regressed).
+    ratio = measure_metrics_overhead_ratio()
+    assert ratio < OVERHEAD_MAX, (
+        f"FastSimulator with metrics disabled is {ratio:.3f}x the "
+        f"enabled engine (limit {OVERHEAD_MAX})"
+    )
+
+
+def test_metrics_never_change_the_numbers():
+    from repro.core.fastsim import FastSimulator
+    from repro.observability import MetricsRegistry
+
+    plain = FastSimulator(INSTANCE).evaluate(SCHEDULE)
+    reg = MetricsRegistry()
+    counted = FastSimulator(INSTANCE, metrics=reg).evaluate(SCHEDULE)
+    assert counted.makespan == plain.makespan
+    assert counted.total_bubble_time == plain.total_bubble_time
+    assert reg.counter("fastsim.calls_replayed").value == len(INSTANCE.calls)
+
+
 def main() -> int:
     ratio = measure_overhead_ratio()
     print(f"tracing-disabled overhead: {ratio:.4f}x (limit {OVERHEAD_MAX}x)")
@@ -89,6 +137,16 @@ def main() -> int:
         return 1
     test_traced_run_equals_untraced_run()
     print("traced run bitwise-identical to untraced run: ok")
+    mratio = measure_metrics_overhead_ratio()
+    print(
+        f"metrics-disabled / metrics-enabled fastsim: {mratio:.4f}x "
+        f"(limit {OVERHEAD_MAX}x)"
+    )
+    if mratio >= OVERHEAD_MAX:
+        print("FAIL: metrics-disabled path above limit")
+        return 1
+    test_metrics_never_change_the_numbers()
+    print("counted run bitwise-identical to uncounted run: ok")
     return 0
 
 

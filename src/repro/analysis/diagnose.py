@@ -25,7 +25,7 @@ their efforts appropriately."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.bounds import lower_bound
@@ -150,6 +150,31 @@ class GapDiagnosis:
                 }
             )
         return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the full decomposition.
+
+        Includes the derived ``gap``/``normalized`` values and every
+        per-function and per-interval split (not just the top
+        offenders), so downstream tooling never re-derives anything.
+        """
+        return {
+            "makespan": self.makespan,
+            "lower_bound": self.lower_bound,
+            "gap": self.gap,
+            "normalized": self.normalized,
+            "bubbles": self.bubbles,
+            "excess_before_upgrade": self.excess_before_upgrade,
+            "excess_never_upgraded": self.excess_never_upgraded,
+            "per_function": [
+                {**asdict(item), "total": item.total}
+                for item in self.per_function
+            ],
+            "per_interval": [
+                {**asdict(item), "total": item.total}
+                for item in self.per_interval
+            ],
+        }
 
     def interval_rows(self) -> List[Dict[str, object]]:
         """Reporting-friendly per-interval rows (empty without

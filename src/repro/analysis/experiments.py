@@ -591,6 +591,8 @@ def _execute_serial(
     for state in pending:
         while True:
             state.attempts += 1
+            if metrics is not None:
+                metrics.counter("runner.dispatched").inc()
             _, _, rows, error = _run_unit(
                 (state.driver, state.bench, suite[state.bench], state.kwargs)
             )
@@ -740,6 +742,8 @@ def _execute_pool(
                     queue.appendleft(state)
                     broken = True
                     break
+                if metrics is not None:
+                    metrics.counter("runner.dispatched").inc()
                 inflight[future] = [state, None]
                 if state.suspect:
                     break  # nothing else rides along with a suspect

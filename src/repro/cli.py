@@ -16,6 +16,10 @@ Subcommands mirror the library's workflow:
   crash-resume (``--resume``), per-unit timeouts, and bounded retries;
 * ``cache`` — inspect and maintain a result cache
   (``stats``/``gc``/``clear``);
+* ``bench`` — the continuous-performance harness: ``run`` a benchmark
+  suite (wall time + deterministic work counters), ``compare`` fresh
+  results against committed ``BENCH_*.json`` baselines (counters gate
+  exactly, timing drift warns), ``report`` renders Markdown/JSON;
 * ``walkthrough`` — the Figures 1–2 worked example.
 
 Every command reads/writes the JSON formats of
@@ -130,6 +134,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="also attribute the gap to N equal timeline slices",
     )
+    diag.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the full decomposition (all functions and intervals, "
+            "not just --top) as JSON to PATH ('-' = stdout, suppressing "
+            "the tables)"
+        ),
+    )
 
     tr = sub.add_parser(
         "trace", help="record a scheme's run as a Chrome trace file"
@@ -209,8 +223,61 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument(
         "--json-out",
         default=None,
-        help="also write all rows, errors, and unit statuses as JSON",
+        help=(
+            "also write all rows, errors, unit statuses, and the runner "
+            "metrics snapshot (with histogram p50/p90/p99) as JSON"
+        ),
     )
+
+    bench = sub.add_parser(
+        "bench", help="run/compare the continuous-performance benchmarks"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    brun = bench_sub.add_parser(
+        "run", help="run a suite, writing one BENCH_<name>.json per benchmark"
+    )
+    brun.add_argument("--suite", default="quick")
+    brun.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale (default: $REPRO_SCALE or 0.01)",
+    )
+    brun.add_argument(
+        "--repeats", type=int, default=None,
+        help="timed repeats per benchmark (default: per-benchmark spec)",
+    )
+    brun.add_argument(
+        "--warmups", type=int, default=None,
+        help="untimed warmups per benchmark (default: per-benchmark spec)",
+    )
+    brun.add_argument(
+        "--out",
+        default="benchmarks/results",
+        help="directory for fresh result documents",
+    )
+    brun.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="write into --baseline-dir instead (refreshing the committed "
+        "baselines after an intentional change)",
+    )
+    brun.add_argument("--baseline-dir", default="benchmarks/baselines")
+    for action, helptext in (
+        ("compare", "gate fresh results against the committed baselines"),
+        ("report", "render a comparison without gating (always exits 0)"),
+    ):
+        bcmp = bench_sub.add_parser(action, help=helptext)
+        bcmp.add_argument("--results", default="benchmarks/results")
+        bcmp.add_argument("--baselines", default="benchmarks/baselines")
+        bcmp.add_argument(
+            "--json", default=None, metavar="PATH",
+            help="write the machine-readable report to PATH",
+        )
+        bcmp.add_argument(
+            "--markdown", default=None, metavar="PATH",
+            help="write the Markdown report to PATH ('-' = stdout)",
+        )
 
     cache = sub.add_parser(
         "cache", help="inspect/maintain a result cache directory"
@@ -289,6 +356,16 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     instance = traces.load(args.trace)
     schedule = traces.load_schedule(args.schedule)
     report = diagnose(instance, schedule, intervals=args.intervals)
+    if args.json is not None:
+        import json as _json
+
+        text = _json.dumps(report.as_dict(), indent=2)
+        if args.json == "-":
+            print(text)
+            return 0
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.json}")
     print(f"make-span {report.makespan:.1f} = lower bound {report.lower_bound:.1f}"
           f" + bubbles {report.bubbles:.1f}"
           f" + pre-upgrade excess {report.excess_before_upgrade:.1f}"
@@ -348,6 +425,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
     wanted = args.figure
     jobs = None if args.jobs == 0 else args.jobs
     run = None
+    registry = None
     if wanted in ("table1", "all"):
         print(format_table(table1(scale=args.scale), title="Table 1", precision=1))
         print()
@@ -428,6 +506,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
                     "statuses": run.statuses,
                     "cache_hits": run.cache_hits,
                     "cache_misses": run.cache_misses,
+                    "metrics": (
+                        registry.snapshot() if registry is not None else {}
+                    ),
                 },
                 fh,
                 indent=2,
@@ -460,6 +541,74 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     removed = store.clear()
     print(f"clear: removed {removed} entrie(s)")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import (
+        DEFAULT_SCALE,
+        compare_dirs,
+        render_markdown,
+        render_text,
+        run_suite,
+        to_json_text,
+        worst_status,
+        write_baseline,
+    )
+
+    if args.bench_command == "run":
+        scale = args.scale
+        if scale is None:
+            scale = float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
+        out_dir = args.baseline_dir if args.update_baselines else args.out
+        try:
+            results = run_suite(
+                args.suite,
+                scale=scale,
+                warmups=args.warmups,
+                repeats=args.repeats,
+                progress=lambda name: print(f"running {name} ..."),
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        for result in results:
+            path = write_baseline(out_dir, result)
+            timing = result.timing
+            print(
+                f"  {result.name:<24} median {timing.median_s * 1e3:8.2f} ms "
+                f"(iqr {timing.iqr_s * 1e3:.2f} ms, "
+                f"{len(result.counters)} counters) -> {path}"
+            )
+        kind = "baselines" if args.update_baselines else "results"
+        print(
+            f"wrote {len(results)} {kind} to {out_dir} "
+            f"(suite={args.suite}, scale={scale})"
+        )
+        return 0
+
+    # compare / report share the pipeline; only the gating differs.
+    comparisons = compare_dirs(args.results, args.baselines)
+    if args.markdown == "-":
+        print(render_markdown(comparisons))
+    else:
+        print(render_text(comparisons))
+        if args.markdown is not None:
+            with open(args.markdown, "w", encoding="utf-8") as fh:
+                fh.write(render_markdown(comparisons))
+            print(f"wrote {args.markdown}")
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(to_json_text(comparisons))
+        print(f"wrote {args.json}")
+    if args.bench_command == "report":
+        return 0
+    overall = worst_status(comparisons)
+    if os.environ.get("GITHUB_ACTIONS") == "true":
+        for comparison in comparisons:
+            if comparison.status == "warn":
+                notes = "; ".join(comparison.notes)
+                print(f"::warning title=bench {comparison.name}::{notes}")
+    return 1 if overall == "fail" else 0
 
 
 def _cmd_import_trace(args: argparse.Namespace) -> int:
@@ -518,6 +667,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "study": _cmd_study,
         "cache": _cmd_cache,
+        "bench": _cmd_bench,
         "import-trace": _cmd_import_trace,
         "walkthrough": _cmd_walkthrough,
     }

@@ -109,6 +109,17 @@ class FastSimulator:
             one engine per thread count, they share nothing mutable).
         preinstalled: functions whose code at the given level exists
             from t = 0 (see :func:`~repro.core.makespan.simulate`).
+        metrics: optional
+            :class:`repro.observability.MetricsRegistry` (also settable
+            later via the public ``metrics`` attribute); records the
+            deterministic work counters ``fastsim.prepares`` /
+            ``tasks_prepared`` / ``evaluations`` / ``binds`` /
+            ``proposals`` / ``commits`` / ``replays`` /
+            ``calls_replayed`` / ``span_replays`` /
+            ``span_calls_replayed``.  All increments happen at call
+            boundaries (never inside the replay loops), so a detached
+            registry (``None``, the default) costs one branch per
+            method call and counting never changes the numbers.
 
     Raises:
         ValueError: if ``compile_threads < 1`` or a preinstalled level
@@ -120,6 +131,7 @@ class FastSimulator:
         instance: OCSPInstance,
         compile_threads: int = 1,
         preinstalled: Optional[Dict[str, int]] = None,
+        metrics=None,
     ) -> None:
         if compile_threads < 1:
             raise ValueError(
@@ -128,6 +140,7 @@ class FastSimulator:
         self._instance = instance
         self._compile_threads = compile_threads
         self._preinstalled = dict(preinstalled or {})
+        self.metrics = metrics
 
         # ---- per-instance precomputation -----------------------------
         self._fnames: List[str] = list(instance.profiles)
@@ -279,6 +292,10 @@ class FastSimulator:
             if not events[fid]:
                 prep.missing = self._fnames[fid]
                 break
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("fastsim.prepares").inc()
+            metrics.counter("fastsim.tasks_prepared").inc(len(tasks))
         return prep
 
     def _check_covered(self, prep: _Prep) -> None:
@@ -404,6 +421,10 @@ class FastSimulator:
                 if crossed:
                     break
                 step <<= 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("fastsim.replays").inc()
+            metrics.counter("fastsim.calls_replayed").inc(n - i0)
         return starts_out, fins_out, lvls_out, cum_exec, cum_bubble
 
     def _replay_span(
@@ -415,6 +436,20 @@ class FastSimulator:
         (checked per segment) — the clock is monotone, so the final
         make-span is then guaranteed to exceed it too.
         """
+        span, reached = self._replay_span_impl(prep, i0, t0, cutoff)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("fastsim.span_replays").inc()
+            metrics.counter("fastsim.span_calls_replayed").inc(
+                reached - i0
+            )
+        return span
+
+    def _replay_span_impl(
+        self, prep: _Prep, i0: int, t0: float, cutoff: float
+    ) -> Tuple[float, int]:
+        """:meth:`_replay_span` body; also returns the call index reached
+        (``n``, or the cutoff bail-out position) for work accounting."""
         self._check_covered(prep)
         calls = self._calls_fid
         n = len(calls)
@@ -459,7 +494,7 @@ class FastSimulator:
                 i += 1
                 fb += 1
                 if t > cutoff:
-                    return _INF
+                    return _INF, i
                 continue
             b = first_pos[fb] if fb < num_firsts else n
             if k >= num_events:
@@ -471,7 +506,7 @@ class FastSimulator:
                 t = sum(map(exec_of, calls[i:b]), t)
                 i = b
                 if t > cutoff:
-                    return _INF
+                    return _INF, i
                 continue
             step = 128
             while i < b:
@@ -489,11 +524,11 @@ class FastSimulator:
                 t = end
                 i = j
                 if t > cutoff:
-                    return _INF
+                    return _INF, i
                 step <<= 1
             if t > cutoff:
-                return _INF
-        return t
+                return _INF, i
+        return t, i
 
     # ------------------------------------------------------------------
     # Full (stateless) evaluation
@@ -514,6 +549,8 @@ class FastSimulator:
         :func:`~repro.core.makespan.simulate`; tracing never changes the
         numbers.
         """
+        if self.metrics is not None:
+            self.metrics.counter("fastsim.evaluations").inc()
         prep = self._prepare(schedule, release_times)
         if validate:
             validate_for_simulation(
@@ -675,6 +712,8 @@ class FastSimulator:
         (starts, finishes, levels, running totals) that later
         :meth:`propose` calls resume from.  Returns the make-span.
         """
+        if self.metrics is not None:
+            self.metrics.counter("fastsim.binds").inc()
         prep = self._prepare(schedule)
         if validate:
             validate_for_simulation(
@@ -750,6 +789,8 @@ class FastSimulator:
         The candidate is remembered; :meth:`commit` adopts it.
         """
         self._require_bound()
+        if self.metrics is not None:
+            self.metrics.counter("fastsim.proposals").inc()
         prep = self._prepare(tasks)
         i0, t0 = self._resume_point(prep)
         self._cand = (prep, i0, t0)
@@ -770,6 +811,8 @@ class FastSimulator:
         self._require_bound()
         if self._cand is None:
             raise RuntimeError("no pending candidate; call propose() first")
+        if self.metrics is not None:
+            self.metrics.counter("fastsim.commits").inc()
         prep, i0, t0 = self._cand
         self._cand = None
         exec0 = self._b_cum_exec[i0 - 1] if i0 > 0 else 0.0

@@ -208,7 +208,9 @@ def improve_schedule(
 
     fast: Optional[FastSimulator] = None
     if engine == "fast":
-        fast = FastSimulator(instance, compile_threads=compile_threads)
+        fast = FastSimulator(
+            instance, compile_threads=compile_threads, metrics=metrics
+        )
         current_span = fast.bind(schedule)
     else:
         current_span = simulate(

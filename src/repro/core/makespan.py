@@ -314,6 +314,7 @@ def simulate(
     preinstalled: Optional[Dict[str, int]] = None,
     release_times: Optional[Sequence[float]] = None,
     tracer=None,
+    metrics=None,
 ) -> MakespanResult:
     """Simulate ``schedule`` driving ``instance`` and return timings.
 
@@ -339,6 +340,13 @@ def simulate(
             when given, the full timeline is traced as compile / call /
             bubble spans.  The numbers are bitwise identical to an
             untraced run — tracing only records, it never reschedules.
+        metrics: optional
+            :class:`repro.observability.MetricsRegistry`; records the
+            deterministic work counters ``makespan.runs``,
+            ``makespan.calls``, and ``makespan.tasks``.  Counting
+            happens once per run outside the replay loop, so the hot
+            body is untouched and ``metrics=None`` (the default) costs
+            a single branch.
 
     Returns:
         A :class:`MakespanResult`.
@@ -349,10 +357,13 @@ def simulate(
             out of range, or ``release_times`` has the wrong length.
     """
     if tracer is None:
-        return _simulate(
+        result = _simulate(
             instance, schedule, compile_threads, record_timeline,
             validate, preinstalled, release_times,
         )
+        if metrics is not None:
+            _count_run(metrics, instance, schedule)
+        return result
     from repro.observability.instrument import trace_makespan_result
 
     result = _simulate(
@@ -360,6 +371,8 @@ def simulate(
         validate, preinstalled, release_times,
     )
     trace_makespan_result(tracer, result)
+    if metrics is not None:
+        _count_run(metrics, instance, schedule)
     if record_timeline:
         return result
     return MakespanResult(
@@ -369,6 +382,13 @@ def simulate(
         total_exec_time=result.total_exec_time,
         calls_at_level=result.calls_at_level,
     )
+
+
+def _count_run(metrics, instance: OCSPInstance, schedule: Schedule) -> None:
+    """Work accounting for one simulation (post-run, O(1))."""
+    metrics.counter("makespan.runs").inc()
+    metrics.counter("makespan.calls").inc(len(instance.calls))
+    metrics.counter("makespan.tasks").inc(len(schedule))
 
 
 def iter_calls(

@@ -10,9 +10,13 @@ when disabled.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+import random
+import zlib
+from typing import Dict, List, Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+_RESERVOIR_SIZE = 1024
 
 
 class Counter:
@@ -44,14 +48,19 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming aggregate of observed values (count/sum/min/max/mean).
+    """Streaming aggregate of observed values.
 
-    Deliberately keeps no samples: instrumented loops may record
-    millions of values, and the summaries the reports need are all
-    computable online.
+    Exact count/sum/min/max/mean are maintained online; quantiles come
+    from a fixed-size reservoir (Vitter's algorithm R, 1024 slots), so
+    instrumented loops may record millions of values at O(1) memory.
+    Up to 1024 recordings the quantiles are exact; beyond that they are
+    estimates from a uniform sample.  The reservoir's RNG is seeded from
+    the histogram *name* (CRC-32, not the salted ``hash``), so a given
+    instrument stream yields identical quantiles on every run — metric
+    snapshots stay reproducible.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_rng")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -59,6 +68,8 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._samples: List[float] = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def record(self, value: float) -> None:
         value = float(value)
@@ -68,10 +79,34 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self._samples) < _RESERVOIR_SIZE:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < _RESERVOIR_SIZE:
+                self._samples[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The ``q``-th percentile (``0 <= q <= 100``) of the recorded
+        values — exact below 1024 recordings, reservoir-estimated above.
+        ``None`` when nothing has been recorded.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = (len(ordered) - 1) * (q / 100.0)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
 class MetricsRegistry:
@@ -123,6 +158,9 @@ class MetricsRegistry:
                     "min": metric.min if metric.count else None,
                     "max": metric.max if metric.count else None,
                     "mean": metric.mean,
+                    "p50": metric.percentile(50.0),
+                    "p90": metric.percentile(90.0),
+                    "p99": metric.percentile(99.0),
                 }
             else:
                 out[name] = metric.value  # type: ignore[union-attr]
@@ -133,10 +171,18 @@ class MetricsRegistry:
         lines = []
         for name, value in self.snapshot().items():
             if isinstance(value, dict):
+                p50 = value["p50"]
+                p99 = value["p99"]
+                quantiles = (
+                    f" p50={p50:.{precision}f} p99={p99:.{precision}f}"
+                    if p50 is not None and p99 is not None
+                    else ""
+                )
                 lines.append(
                     f"{name} = count={value['count']} "
                     f"mean={value['mean']:.{precision}f} "
                     f"min={value['min']} max={value['max']}"
+                    f"{quantiles}"
                 )
             elif isinstance(value, float):
                 lines.append(f"{name} = {value:.{precision}f}")

@@ -1,0 +1,114 @@
+"""Render benchmark comparisons as Markdown and JSON.
+
+The Markdown report is what a human reads on a PR (one row per
+benchmark, worst status first); the JSON report is what the CI
+artifact and downstream tooling consume.  Both are pure functions of
+the comparison list so ``repro bench compare`` and ``repro bench
+report`` cannot disagree.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from .compare import Comparison, worst_status
+
+__all__ = ["report_json", "render_markdown", "render_text", "to_json_text"]
+
+_STATUS_ICON = {"pass": "✓", "warn": "~", "fail": "✗", "skip": "-"}
+_STATUS_ORDER = {"fail": 0, "warn": 1, "skip": 2, "pass": 3}
+
+
+def _ms(value: Optional[float]) -> str:
+    return f"{value * 1e3:.2f}" if value is not None else "—"
+
+
+def _ratio(comparison: Comparison) -> str:
+    ratio = comparison.time_ratio
+    if ratio is None:
+        return "—"
+    return f"{ratio:.2f}x"
+
+
+def report_json(comparisons: List[Comparison]) -> Dict[str, object]:
+    """Machine-readable report document."""
+    counts: Dict[str, int] = {}
+    for comparison in comparisons:
+        counts[comparison.status] = counts.get(comparison.status, 0) + 1
+    return {
+        "generated_at": time.time(),
+        "overall": worst_status(comparisons),
+        "status_counts": counts,
+        "comparisons": [c.as_dict() for c in comparisons],
+    }
+
+
+def _sorted(comparisons: List[Comparison]) -> List[Comparison]:
+    return sorted(
+        comparisons, key=lambda c: (_STATUS_ORDER[c.status], c.name)
+    )
+
+
+def render_markdown(comparisons: List[Comparison]) -> str:
+    """GitHub-flavoured Markdown report, worst status first."""
+    lines = [
+        "# Benchmark comparison",
+        "",
+        f"Overall: **{worst_status(comparisons)}** "
+        f"({len(comparisons)} benchmark(s))",
+        "",
+        "| benchmark | status | median (base → cur, ms) | ratio | counters |",
+        "|---|---|---|---|---|",
+    ]
+    for c in _sorted(comparisons):
+        changed = sum(1 for d in c.counter_diffs)
+        regressed = sum(1 for d in c.counter_diffs if d.regressed)
+        if regressed:
+            counter_cell = f"{regressed} regressed / {changed} changed"
+        elif changed:
+            counter_cell = f"{changed} changed"
+        else:
+            counter_cell = "exact match"
+        lines.append(
+            f"| {c.name} | {c.status} | "
+            f"{_ms(c.baseline_median_s)} → {_ms(c.current_median_s)} | "
+            f"{_ratio(c)} | {counter_cell} |"
+        )
+    lines.append("")
+    for c in _sorted(comparisons):
+        if c.status == "pass":
+            continue
+        lines.append(f"## {c.name} — {c.status}")
+        lines.append("")
+        for note in c.notes:
+            lines.append(f"- {note}")
+        for diff in c.counter_diffs:
+            lines.append(
+                f"- `{diff.counter}`: {diff.baseline} → {diff.current}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_text(comparisons: List[Comparison]) -> str:
+    """Terminal-friendly one-line-per-benchmark summary."""
+    lines = []
+    for c in _sorted(comparisons):
+        icon = _STATUS_ICON.get(c.status, "?")
+        timing = (
+            f"{_ms(c.baseline_median_s)} -> {_ms(c.current_median_s)} ms"
+            if c.current_median_s is not None
+            else "no timing"
+        )
+        lines.append(f"{icon} {c.name:<24} {c.status:<5} {timing}")
+        for note in c.notes:
+            if c.status != "pass":
+                lines.append(f"    {note}")
+    lines.append(f"overall: {worst_status(comparisons)}")
+    return "\n".join(lines)
+
+
+def to_json_text(comparisons: List[Comparison]) -> str:
+    return json.dumps(report_json(comparisons), indent=2, sort_keys=True) + "\n"

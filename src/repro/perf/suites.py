@@ -1,0 +1,337 @@
+"""Registered perf benchmarks and named suites.
+
+Each benchmark is a setup factory (see :mod:`repro.perf.harness`):
+``make(scale)`` builds the workload and engines once, and the returned
+callable does only the work worth measuring.  Workload sizes derive
+from ``scale`` with the same convention as the pytest benchmark suite
+(``REPRO_SCALE``, default 0.01), and the scale is recorded in every
+baseline — results at different scales never compare.
+
+The ``quick`` suite covers every instrumented hot path: the reference
+simulator, the fast engine (full and incremental), local search, the
+priority-queue co-simulation, the result store, tracing, and the
+parallel experiment runner.  It is sized to finish in seconds at the
+default scale so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..observability.metrics import MetricsRegistry
+from .harness import BenchResult, run_benchmark
+
+__all__ = [
+    "BenchSpec",
+    "REGISTRY",
+    "register",
+    "suite_names",
+    "get_suite",
+    "run_suite",
+    "DEFAULT_SCALE",
+]
+
+DEFAULT_SCALE = 0.01
+
+Factory = Callable[[float], Callable[[MetricsRegistry], None]]
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark: a named, suite-tagged setup factory."""
+
+    name: str
+    make: Factory
+    suites: Tuple[str, ...]
+    description: str
+    warmups: int = 1
+    repeats: int = 5
+
+
+REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def register(
+    name: str,
+    suites: Tuple[str, ...] = ("quick",),
+    description: str = "",
+    warmups: int = 1,
+    repeats: int = 5,
+):
+    """Decorator: register a benchmark factory under ``name``."""
+
+    def deco(make: Factory) -> Factory:
+        if name in REGISTRY:
+            raise ValueError(f"benchmark {name!r} already registered")
+        REGISTRY[name] = BenchSpec(
+            name=name,
+            make=make,
+            suites=tuple(suites),
+            description=description,
+            warmups=warmups,
+            repeats=repeats,
+        )
+        return make
+
+    return deco
+
+
+def suite_names() -> List[str]:
+    names = {suite for spec in REGISTRY.values() for suite in spec.suites}
+    return sorted(names)
+
+
+def get_suite(suite: str) -> List[BenchSpec]:
+    """The specs tagged with ``suite``, in registration order.
+
+    Raises:
+        KeyError: for a suite no benchmark is tagged with.
+    """
+    specs = [spec for spec in REGISTRY.values() if suite in spec.suites]
+    if not specs:
+        raise KeyError(
+            f"unknown suite {suite!r}; available: {suite_names()}"
+        )
+    return specs
+
+
+def run_suite(
+    suite: str = "quick",
+    scale: float = DEFAULT_SCALE,
+    warmups: Optional[int] = None,
+    repeats: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BenchResult]:
+    """Run every benchmark of ``suite`` and return the results."""
+    results: List[BenchResult] = []
+    for spec in get_suite(suite):
+        if progress is not None:
+            progress(spec.name)
+        results.append(
+            run_benchmark(
+                spec.name,
+                spec.make,
+                scale=scale,
+                warmups=spec.warmups if warmups is None else warmups,
+                repeats=spec.repeats if repeats is None else repeats,
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Workload helpers (setup only — never timed)
+# ----------------------------------------------------------------------
+def _workload(scale: float, calls_at_full: int = 200_000, seed: int = 42):
+    from ..workloads import WorkloadSpec, generate
+
+    spec = WorkloadSpec(
+        name=f"perf-{calls_at_full}",
+        num_functions=max(20, int(5_000 * scale)),
+        num_calls=max(500, int(calls_at_full * scale)),
+        num_levels=4,
+        base_compile_us=50.0,
+        mean_exec_us=2.0,
+    )
+    return generate(spec, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# The quick suite
+# ----------------------------------------------------------------------
+@register(
+    "core_simulate",
+    description="reference simulate() on a base-level schedule",
+)
+def _bench_core_simulate(scale: float):
+    from ..core.makespan import simulate
+    from ..core.single_level import base_level_schedule
+
+    instance = _workload(scale)
+    schedule = base_level_schedule(instance)
+
+    def fn(metrics: MetricsRegistry) -> None:
+        for _ in range(5):
+            simulate(instance, schedule, validate=False, metrics=metrics)
+
+    return fn
+
+
+@register(
+    "fastsim_evaluate",
+    description="FastSimulator full (non-incremental) evaluation",
+)
+def _bench_fastsim_evaluate(scale: float):
+    from ..core.fastsim import FastSimulator
+    from ..core.single_level import base_level_schedule
+
+    instance = _workload(scale)
+    schedule = base_level_schedule(instance)
+    engine = FastSimulator(instance)
+
+    def fn(metrics: MetricsRegistry) -> None:
+        engine.metrics = metrics
+        try:
+            for _ in range(5):
+                engine.evaluate(schedule)
+        finally:
+            engine.metrics = None
+
+    return fn
+
+
+@register(
+    "fastsim_incremental",
+    description="FastSimulator propose/commit on random local-search moves",
+)
+def _bench_fastsim_incremental(scale: float):
+    from ..core.fastsim import FastSimulator
+    from ..core.localsearch import _propose
+    from ..core.single_level import base_level_schedule
+
+    instance = _workload(scale)
+    schedule = base_level_schedule(instance)
+    engine = FastSimulator(instance)
+
+    def fn(metrics: MetricsRegistry) -> None:
+        engine.metrics = metrics
+        try:
+            # Re-bind per run so every repeat walks the same trajectory
+            # from the same baseline (a fresh rng makes the move stream
+            # identical too).
+            engine.bind(schedule)
+            rng = random.Random(7)
+            tasks = list(schedule.tasks)
+            for _ in range(100):
+                proposal = None
+                while proposal is None:
+                    proposal = _propose(instance, tasks, rng)
+                span = engine.propose(
+                    proposal, cutoff=engine.baseline_makespan
+                )
+                if span <= engine.baseline_makespan:
+                    engine.commit()
+                    tasks = proposal
+        finally:
+            engine.metrics = None
+
+    return fn
+
+
+@register(
+    "localsearch_moves",
+    description="hill-climbing local search on the fast engine",
+)
+def _bench_localsearch(scale: float):
+    from ..core.localsearch import improve_schedule
+    from ..core.single_level import base_level_schedule
+
+    instance = _workload(scale, calls_at_full=100_000)
+    schedule = base_level_schedule(instance)
+
+    def fn(metrics: MetricsRegistry) -> None:
+        improve_schedule(
+            instance, schedule, iterations=200, seed=3, metrics=metrics
+        )
+
+    return fn
+
+
+@register(
+    "priorityqueue_hotness",
+    description="priority-queue reactive co-simulation (hotness policy)",
+)
+def _bench_priorityqueue(scale: float):
+    from ..vm.costbenefit import EstimatedModel
+    from ..vm.jikes import JikesScheme
+    from ..vm.priorityqueue import run_with_policy
+
+    instance = _workload(scale, calls_at_full=50_000)
+
+    def fn(metrics: MetricsRegistry) -> None:
+        run_with_policy(
+            instance,
+            JikesScheme(EstimatedModel(instance, seed=0)),
+            policy="hotness",
+            metrics=metrics,
+        )
+
+    return fn
+
+
+@register(
+    "store_roundtrip",
+    description="content-addressed store fingerprint + put + get",
+)
+def _bench_store(scale: float):
+    from ..store import ResultStore, fingerprint_unit
+
+    instance = _workload(scale, calls_at_full=20_000)
+    entries = 32
+    rows = [{"benchmark": "perf", "value": 1.25}]
+
+    def fn(metrics: MetricsRegistry) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ResultStore(tmp)
+            fingerprints = [
+                fingerprint_unit(
+                    instance, "perf", {"entry": i}, benchmark="perf"
+                )
+                for i in range(entries)
+            ]
+            for fp in fingerprints:
+                store.put(fp, rows, driver="perf", benchmark="perf")
+            for fp in fingerprints:
+                assert store.get(fp) == rows
+            metrics.counter("store.puts").inc(store.puts)
+            metrics.counter("store.hits").inc(store.hits)
+            metrics.counter("store.misses").inc(store.misses)
+
+    return fn
+
+
+@register(
+    "trace_record",
+    description="simulate() with a Tracer attached (trace-enabled cost)",
+)
+def _bench_trace_record(scale: float):
+    from ..core.makespan import simulate
+    from ..core.single_level import base_level_schedule
+    from ..observability import Tracer
+
+    instance = _workload(scale, calls_at_full=100_000)
+    schedule = base_level_schedule(instance)
+
+    def fn(metrics: MetricsRegistry) -> None:
+        tracer = Tracer()
+        simulate(
+            instance, schedule, validate=False, tracer=tracer,
+            metrics=metrics,
+        )
+        metrics.counter("trace.events").inc(len(tracer.events))
+
+    return fn
+
+
+@register(
+    "runner_serial",
+    description="parallel experiment runner, serial path, figure5 units",
+)
+def _bench_runner(scale: float):
+    from ..analysis.experiments import run_parallel
+
+    suite = {
+        "perf-a": _workload(scale, calls_at_full=20_000, seed=11),
+        "perf-b": _workload(scale, calls_at_full=20_000, seed=12),
+    }
+
+    def fn(metrics: MetricsRegistry) -> None:
+        run = run_parallel(
+            suite, drivers=("figure5",), jobs=1, metrics=metrics
+        )
+        assert run.ok
+
+    return fn

@@ -60,6 +60,12 @@ class PriorityRuntimeSimulator:
         sample_period: sampler interval (``None`` → derived).
         tracer: optional :class:`repro.observability.Tracer` (or scope);
             records enqueues, compile spans, calls, bubbles, samples.
+        metrics: optional :class:`repro.observability.MetricsRegistry`;
+            records ``priorityqueue.enqueued`` / ``deduped`` /
+            ``dispatched`` / ``reheapifies`` per event and bulk
+            ``priorityqueue.calls`` / ``samples`` at the end of
+            :meth:`run`.  ``None`` (the default) costs one branch per
+            event and never changes the numbers.
     """
 
     def __init__(
@@ -70,6 +76,7 @@ class PriorityRuntimeSimulator:
         compile_threads: int = 1,
         sample_period: Optional[float] = None,
         tracer=None,
+        metrics=None,
     ):
         if policy not in PRIORITY_POLICIES:
             raise ValueError(
@@ -89,6 +96,7 @@ class PriorityRuntimeSimulator:
         if self.sample_period <= 0:
             raise ValueError("sample_period must be positive")
         self.tracer = tracer
+        self.metrics = metrics
         self._reset()
 
     def _reset(self) -> None:
@@ -116,8 +124,12 @@ class PriorityRuntimeSimulator:
             raise ValueError(f"level {level} out of range for {fname!r}")
         prev = self._requested_level.get(fname, -1)
         if level <= prev:
+            if self.metrics is not None:
+                self.metrics.counter("priorityqueue.deduped").inc()
             return
         self._requested_level[fname] = level
+        if self.metrics is not None:
+            self.metrics.counter("priorityqueue.enqueued").inc()
         key = self.policy(level, self._observed.get(fname, 0), next(self._seq))
         heapq.heappush(self._pending, (key, next(self._seq), time, fname, level))
         self._enqueue_times.append(time)
@@ -160,6 +172,9 @@ class PriorityRuntimeSimulator:
         chosen = min(arrived)
         self._pending.remove(chosen)
         heapq.heapify(self._pending)
+        if self.metrics is not None:
+            self.metrics.counter("priorityqueue.dispatched").inc()
+            self.metrics.counter("priorityqueue.reheapifies").inc()
         _key, _seq, arrival, fname, level = chosen
         _free, tid = heapq.heappop(self._threads)
         c = self.instance.profiles[fname].compile_times[level]
@@ -277,6 +292,11 @@ class PriorityRuntimeSimulator:
                     t_tick = tick * period
             t = finish
 
+        if self.metrics is not None:
+            self.metrics.counter("priorityqueue.calls").inc(
+                len(instance.calls)
+            )
+            self.metrics.counter("priorityqueue.samples").inc(samples_taken)
         return RuntimeRunResult(
             schedule=Schedule(tuple(self._dispatched)),
             enqueue_times=tuple(sorted(self._enqueue_times)),
@@ -295,6 +315,7 @@ def run_with_policy(
     compile_threads: int = 1,
     sample_period: Optional[float] = None,
     tracer=None,
+    metrics=None,
 ) -> RuntimeRunResult:
     """Convenience wrapper: replay ``instance`` under ``scheme`` with
     the given queue policy."""
@@ -305,4 +326,5 @@ def run_with_policy(
         compile_threads=compile_threads,
         sample_period=sample_period,
         tracer=tracer,
+        metrics=metrics,
     ).run()

@@ -151,6 +151,66 @@ class TestMetrics:
         assert "gain" in text
 
 
+class TestHistogramPercentiles:
+    def test_exact_below_reservoir_size(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.record(float(v))
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(90) == pytest.approx(90.1)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+
+    def test_snapshot_includes_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.record(v)
+        snap = reg.snapshot()["lat"]
+        assert snap["p50"] == pytest.approx(2.5)
+        assert snap["p90"] == pytest.approx(3.7)
+        assert snap["p99"] == pytest.approx(3.97)
+
+    def test_empty_histogram_has_none_quantiles(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat")
+        snap = reg.snapshot()["lat"]
+        assert snap["p50"] is None and snap["p99"] is None
+        assert reg.histogram("lat").percentile(50) is None
+
+    def test_percentile_range_validated(self):
+        h = MetricsRegistry().histogram("lat")
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_reservoir_estimates_are_deterministic(self):
+        # Beyond the reservoir the quantiles are sampled — but the RNG
+        # seeds from the name, so two identical streams agree exactly.
+        def run():
+            h = MetricsRegistry().histogram("lat")
+            for v in range(5000):
+                h.record(float(v))
+            return h.percentile(50), h.percentile(90), h.percentile(99)
+
+        a, b = run(), run()
+        assert a == b
+        # And the estimate lands near the true quantile.
+        assert a[0] == pytest.approx(2500, rel=0.15)
+        assert a[2] == pytest.approx(4950, rel=0.15)
+
+    def test_reservoir_memory_is_bounded(self):
+        from repro.observability.metrics import _RESERVOIR_SIZE
+
+        h = MetricsRegistry().histogram("lat")
+        for v in range(3 * _RESERVOIR_SIZE):
+            h.record(float(v))
+        assert len(h._samples) == _RESERVOIR_SIZE
+        assert h.count == 3 * _RESERVOIR_SIZE
+
+
 class TestChromeExport:
     def _small_trace(self):
         tracer = Tracer()

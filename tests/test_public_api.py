@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.analysis",
     "repro.observability",
+    "repro.perf",
     "repro.cli",
 ]
 
@@ -35,6 +36,8 @@ MODULES = [
     "repro.analysis.sensitivity", "repro.analysis.export",
     "repro.observability.tracer", "repro.observability.metrics",
     "repro.observability.export", "repro.observability.instrument",
+    "repro.perf.harness", "repro.perf.baseline", "repro.perf.compare",
+    "repro.perf.report", "repro.perf.suites",
 ]
 
 
