@@ -21,7 +21,11 @@ The package is organized as:
   metrics: record any engine's run on a virtual-time timeline and
   export it as a Chrome/Perfetto trace file;
 * :mod:`repro.store` — the content-addressed experiment result store
-  and suite-run checkpoints behind ``repro study --cache-dir/--resume``.
+  and suite-run checkpoints behind ``repro study --cache-dir/--resume``;
+* :mod:`repro.faults` — deterministic fault injection (compile
+  failures, compiler stalls, cost-model misprediction, sampler-tick
+  loss) and the graceful-degradation studies behind
+  ``repro faults sweep``.
 
 Quickstart::
 
@@ -33,7 +37,7 @@ Quickstart::
     print(result.makespan, core.lower_bound(inst))
 """
 
-from . import analysis, core, jitsim, observability, store, vm, workloads
+from . import analysis, core, faults, jitsim, observability, store, vm, workloads
 from .core import (
     CompileTask,
     FunctionProfile,
@@ -55,6 +59,7 @@ __all__ = [
     "analysis",
     "observability",
     "store",
+    "faults",
     "FunctionProfile",
     "OCSPInstance",
     "Schedule",

@@ -57,6 +57,7 @@ __all__ = [
     "figure7",
     "figure8",
     "table2",
+    "faults_sweep",
     "astar_scaling",
     "average_row",
     "PARALLEL_DRIVERS",
@@ -198,21 +199,38 @@ def _figure_rows(
     compile_threads: int = 1,
     trace_dir: Optional[str] = None,
     label: str = "figure",
+    faults: Optional[str] = None,
 ) -> List[Dict[str, object]]:
+    faulty = faults is not None and faults != ""
+    if faulty:
+        from ..faults import faulty_scheme_comparison, parse_fault_spec
+
+        spec = parse_fault_spec(faults)
+        faulty = not spec.is_null
     rows: List[Dict[str, object]] = []
     for name, instance in suite.items():
         tracer = (
             _trace_into(trace_dir, label, name) if trace_dir is not None else None
         )
         row: Dict[str, object] = {"benchmark": name}
-        row.update(
-            scheme_comparison(
+        if faulty:
+            comparison, summary = faulty_scheme_comparison(
                 instance,
+                spec,
                 model_factory=model_factory,
                 compile_threads=compile_threads,
-                tracer=tracer,
             )
-        )
+            row.update(comparison)
+            row["faults"] = summary
+        else:
+            row.update(
+                scheme_comparison(
+                    instance,
+                    model_factory=model_factory,
+                    compile_threads=compile_threads,
+                    tracer=tracer,
+                )
+            )
         if tracer is not None:
             _write_trace(tracer, trace_dir, label, name)
         rows.append(row)
@@ -220,28 +238,38 @@ def _figure_rows(
 
 
 def figure5(
-    suite: Suite, model_seed: int = 0, trace_dir: Optional[str] = None
+    suite: Suite,
+    model_seed: int = 0,
+    trace_dir: Optional[str] = None,
+    faults: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Figure 5: normalized make-spans under the default (estimated)
     cost-benefit model.
 
     With ``trace_dir``, each benchmark's four scheme runs are dumped as
-    ``figure5-<benchmark>.trace.json`` Chrome trace files.
+    ``figure5-<benchmark>.trace.json`` Chrome trace files.  With a
+    non-null ``faults`` spec string, every scheme runs degraded under
+    that spec (see :mod:`repro.faults`) and each row gains a
+    ``"faults"`` tally; tracing is unavailable on the faulty path.
     """
     return _figure_rows(
         suite,
         lambda inst: EstimatedModel(inst, seed=model_seed),
         trace_dir=trace_dir,
         label="figure5",
+        faults=faults,
     )
 
 
 def figure6(
-    suite: Suite, trace_dir: Optional[str] = None
+    suite: Suite,
+    trace_dir: Optional[str] = None,
+    faults: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Figure 6: normalized make-spans under the oracle model."""
     return _figure_rows(
-        suite, OracleModel, trace_dir=trace_dir, label="figure6"
+        suite, OracleModel, trace_dir=trace_dir, label="figure6",
+        faults=faults,
     )
 
 
@@ -273,15 +301,37 @@ def figure7(
 
 
 def figure8(
-    suite: Suite, levels=(0, 1), trace_dir: Optional[str] = None
+    suite: Suite,
+    levels=(0, 1),
+    trace_dir: Optional[str] = None,
+    faults: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Figure 8: the V8 scheme, on two-level projections of the suite.
 
     The paper uses the lowest two Jikes levels as V8's low/high pair;
     the lower bound is recomputed for the projected (2-level) instance,
-    which is why all gaps shrink relative to Figure 5.
+    which is why all gaps shrink relative to Figure 5.  A non-null
+    ``faults`` spec string degrades every scheme (see
+    :mod:`repro.faults`); tracing is unavailable on the faulty path.
     """
     low, high = levels
+    faulty = faults is not None and faults != ""
+    if faulty:
+        from ..faults import faulty_v8_comparison, parse_fault_spec
+
+        spec = parse_fault_spec(faults)
+        faulty = not spec.is_null
+    if faulty:
+        rows = []
+        for name, instance in suite.items():
+            comparison, summary = faulty_v8_comparison(
+                instance, spec, levels=levels
+            )
+            row: Dict[str, object] = {"benchmark": name}
+            row.update(comparison)
+            row["faults"] = summary
+            rows.append(row)
+        return rows
     rows: List[Dict[str, object]] = []
     for name, instance in suite.items():
         tracer = (
@@ -323,6 +373,32 @@ def figure8(
             }
         )
     return rows
+
+
+def faults_sweep(
+    suite: Suite,
+    spec: str = "",
+    rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.4),
+    dimension: str = "compile_fail",
+    model_seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Degradation curves: the Figure 5 comparison at several rates of
+    one fault dimension (``repro faults sweep``).
+
+    Thin, process-pool-safe wrapper over
+    :func:`repro.faults.sweep.fault_sweep_rows` (imported lazily so
+    spawn-context workers can pickle units by driver name without
+    importing the fault layer up front).
+    """
+    from ..faults.sweep import fault_sweep_rows
+
+    return fault_sweep_rows(
+        suite,
+        spec=spec,
+        rates=tuple(rates),
+        dimension=dimension,
+        model_seed=model_seed,
+    )
 
 
 def table2(suite: Suite, model_seed: int = 0) -> List[Dict[str, object]]:
@@ -475,7 +551,7 @@ def _parallel_driver(func):
     return func
 
 
-for _driver in (figure5, figure6, figure7, figure8, table2):
+for _driver in (figure5, figure6, figure7, figure8, table2, faults_sweep):
     _parallel_driver(_driver)
 
 

@@ -20,7 +20,15 @@ Subcommands mirror the library's workflow:
   suite (wall time + deterministic work counters), ``compare`` fresh
   results against committed ``BENCH_*.json`` baselines (counters gate
   exactly, timing drift warns), ``report`` renders Markdown/JSON;
+* ``faults`` — fault-injection studies: ``sweep`` produces degradation
+  curves (make-span vs fault rate per scheme; see
+  ``docs/ROBUSTNESS.md``), and ``--faults SPEC`` on
+  ``evaluate``/``diagnose``/``study`` runs those commands degraded;
 * ``walkthrough`` — the Figures 1–2 worked example.
+
+Malformed inputs (bad trace/schedule files, bad fault specs) exit with
+code 2 and a one-line ``repro: error: ...`` diagnostic; pass ``--debug``
+before the subcommand to see the full traceback instead.
 
 Every command reads/writes the JSON formats of
 :mod:`repro.workloads.traces`, so pipelines compose:
@@ -59,6 +67,7 @@ from .core import (
     simulate,
 )
 from .core.single_level import base_level_schedule, optimizing_level_schedule
+from .faults.spec import DIMENSIONS, FaultSpecError
 from .vm.jikes import run_jikes
 from .vm.v8 import run_v8
 from .workloads import WorkloadSpec, dacapo, generate, traces
@@ -101,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
             "(ASPLOS 2014 reproduction)"
         ),
     )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="show full tracebacks instead of one-line error diagnostics",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate a trace file")
@@ -123,11 +137,29 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("trace")
     ev.add_argument("schedule")
     ev.add_argument("--threads", type=int, default=1)
+    ev.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "also simulate under this fault spec (key=value,... — see "
+            "docs/ROBUSTNESS.md) and report the degradation"
+        ),
+    )
 
     diag = sub.add_parser("diagnose", help="decompose a schedule's gap")
     diag.add_argument("trace")
     diag.add_argument("schedule")
     diag.add_argument("--top", type=int, default=10)
+    diag.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "also attribute the extra gap a fault spec induces "
+            "(key=value,... — see docs/ROBUSTNESS.md)"
+        ),
+    )
     diag.add_argument(
         "--intervals",
         type=int,
@@ -183,6 +215,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "also dump a Chrome trace file per benchmark for the "
             "figure 5/6/8 runs into this directory"
+        ),
+    )
+    study.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "run the figure 5/6/8 schemes degraded under this fault "
+            "spec (key=value,... — see docs/ROBUSTNESS.md)"
         ),
     )
     study.add_argument(
@@ -279,6 +320,59 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the Markdown report to PATH ('-' = stdout)",
         )
 
+    faults = sub.add_parser(
+        "faults", help="fault-injection and graceful-degradation studies"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    fsw = faults_sub.add_parser(
+        "sweep",
+        help="degradation curves: normalized make-span vs fault rate",
+    )
+    fsw.add_argument("--scale", type=float, default=0.01)
+    fsw.add_argument(
+        "--rates",
+        default="0,0.05,0.1,0.2,0.4",
+        help="comma-separated fault rates to sweep",
+    )
+    fsw.add_argument(
+        "--dimension",
+        choices=list(DIMENSIONS),
+        default="compile_fail",
+        help="the fault dimension the sweep varies",
+    )
+    fsw.add_argument(
+        "--spec",
+        default="",
+        help=(
+            "base fault spec (key=value,...); the swept dimension's rate "
+            "is overridden point by point, everything else stays fixed"
+        ),
+    )
+    fsw.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="fault seed (overrides the base spec's seed)",
+    )
+    fsw.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (benchmarks fan out; 0 = one per CPU)",
+    )
+    fsw.add_argument("--cache-dir", default=None)
+    fsw.add_argument("--resume", action="store_true")
+    fsw.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any benchmark unit failed",
+    )
+    fsw.add_argument(
+        "--json-out",
+        default=None,
+        help="write rows and curves as deterministic JSON",
+    )
+
     cache = sub.add_parser(
         "cache", help="inspect/maintain a result cache directory"
     )
@@ -340,7 +434,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     instance = traces.load(args.trace)
-    schedule = traces.load_schedule(args.schedule)
+    schedule = traces.load_schedule(args.schedule, instance=instance)
     result = simulate(instance, schedule, compile_threads=args.threads)
     lb = lower_bound(instance)
     print(f"make-span:        {result.makespan:.1f}")
@@ -349,12 +443,36 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     print(f"bubbles:          {result.total_bubble_time:.1f}")
     print(f"execution:        {result.total_exec_time:.1f}")
     print(f"calls per level:  {dict(sorted(result.calls_at_level.items()))}")
+    if args.faults is not None:
+        from .faults import simulate_with_faults
+
+        faulted, plan = simulate_with_faults(
+            instance, schedule, args.faults,
+            compile_threads=args.threads, validate=False,
+        )
+        print()
+        print(f"with faults ({args.faults}):")
+        print(f"  make-span:      {faulted.makespan:.1f}")
+        print(f"  normalized:     {faulted.makespan / lb:.3f}")
+        print(
+            f"  degradation:    {faulted.makespan / result.makespan:.3f}x "
+            f"(+{faulted.makespan - result.makespan:.1f})"
+        )
+        summary = plan.summary()
+        print(
+            f"  faults:         {plan.failures} failed attempts, "
+            f"{plan.retries} retries, {plan.fallbacks} fallbacks, "
+            f"{plan.forced_installs} forced installs, {plan.stalls} stalls"
+        )
+        print(
+            f"  wasted compile: {summary['wasted_compile_time']:.1f}"
+        )
     return 0
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     instance = traces.load(args.trace)
-    schedule = traces.load_schedule(args.schedule)
+    schedule = traces.load_schedule(args.schedule, instance=instance)
     report = diagnose(instance, schedule, intervals=args.intervals)
     if args.json is not None:
         import json as _json
@@ -375,6 +493,27 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     if report.per_interval:
         print()
         print(format_table(report.interval_rows(), title="gap by interval"))
+    if args.faults is not None:
+        from .faults import simulate_with_faults
+
+        faulted, plan = simulate_with_faults(
+            instance, schedule, args.faults, validate=False
+        )
+        fault_gap = faulted.makespan - report.makespan
+        summary = plan.summary()
+        print()
+        print(f"fault attribution ({args.faults}):")
+        print(f"  fault-free make-span: {report.makespan:.1f}")
+        print(f"  faulted make-span:    {faulted.makespan:.1f}")
+        print(f"  fault-induced gap:    {fault_gap:.1f}")
+        print(
+            f"  events: {plan.failures} failed attempts, {plan.retries} "
+            f"retries, {plan.fallbacks} fallbacks, {plan.forced_installs} "
+            f"forced installs, {plan.stalls} stalls"
+        )
+        print(
+            f"  wasted compile time:  {summary['wasted_compile_time']:.1f}"
+        )
     return 0
 
 
@@ -433,13 +572,21 @@ def _cmd_study(args: argparse.Namespace) -> int:
         suite = dacapo.load_suite(scale=args.scale)
         keys = list(_STUDY_DRIVERS) if wanted == "all" else [wanted]
         drivers = [_STUDY_DRIVERS[key][0] for key in keys]
-        driver_kwargs = {}
-        if args.trace_dir is not None:
-            driver_kwargs = {
-                name: {"trace_dir": args.trace_dir}
-                for name in ("figure5", "figure6", "figure8")
-                if name in drivers
-            }
+        driver_kwargs: Dict[str, Dict[str, object]] = {}
+        for name in ("figure5", "figure6", "figure8"):
+            if name not in drivers:
+                continue
+            kwargs: Dict[str, object] = {}
+            if args.trace_dir is not None:
+                kwargs["trace_dir"] = args.trace_dir
+            if args.faults is not None:
+                # Canonicalize up front: parse errors surface before any
+                # work, and the spec fingerprints stably in the cache.
+                from .faults import parse_fault_spec
+
+                kwargs["faults"] = parse_fault_spec(args.faults).canonical()
+            if kwargs:
+                driver_kwargs[name] = kwargs
         from .observability import MetricsRegistry
 
         registry = MetricsRegistry()
@@ -515,6 +662,84 @@ def _cmd_study(args: argparse.Namespace) -> int:
             )
         print(f"wrote {args.json_out}")
     if args.strict and run is not None and not run.ok:
+        return 1
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json as _json
+
+    from .faults import parse_fault_spec
+    from .faults.sweep import degradation_curves
+    from .observability import MetricsRegistry
+
+    base = parse_fault_spec(args.spec)
+    if args.seed is not None:
+        base = dataclasses.replace(base, seed=args.seed)
+    try:
+        rates = tuple(
+            float(item) for item in args.rates.split(",") if item.strip()
+        )
+    except ValueError:
+        raise FaultSpecError(
+            f"fault spec: --rates must be comma-separated numbers, "
+            f"got {args.rates!r}"
+        ) from None
+    if not rates:
+        raise FaultSpecError("fault spec: --rates is empty")
+    # Validate the swept rates up front (e.g. compile_fail > 1).
+    for rate in rates:
+        base.scaled(args.dimension, rate)
+
+    suite = dacapo.load_suite(scale=args.scale)
+    spec_str = base.canonical()
+    jobs = None if args.jobs == 0 else args.jobs
+    registry = MetricsRegistry()
+    run = run_parallel(
+        suite,
+        ("faults_sweep",),
+        jobs=jobs,
+        driver_kwargs={
+            "faults_sweep": {
+                "spec": spec_str,
+                "rates": rates,
+                "dimension": args.dimension,
+            }
+        },
+        cache=args.cache_dir,
+        resume=args.resume,
+        metrics=registry,
+    )
+    rows = run.rows["faults_sweep"]
+    curves = degradation_curves(rows) if rows else []
+    print(
+        format_figure(
+            curves,
+            _FIGURE_SERIES,
+            label_key="fault_rate",
+            title=(
+                f"degradation vs {args.dimension} rate "
+                f"(geomean over {len(suite)} benchmarks)"
+            ),
+        )
+    )
+    warnings = format_errors(run.errors)
+    if warnings:
+        print(warnings, file=sys.stderr)
+    if args.json_out is not None:
+        doc = {
+            "dimension": args.dimension,
+            "spec": spec_str,
+            "rates": list(rates),
+            "rows": rows,
+            "curves": curves,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    if args.strict and not run.ok:
         return 1
     return 0
 
@@ -666,6 +891,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "diagnose": _cmd_diagnose,
         "trace": _cmd_trace,
         "study": _cmd_study,
+        "faults": _cmd_faults,
         "cache": _cmd_cache,
         "bench": _cmd_bench,
         "import-trace": _cmd_import_trace,
@@ -681,6 +907,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 141  # 128 + SIGPIPE, what the shell would report
+    except (ValueError, OSError) as exc:
+        # Every structured input error is a ValueError subclass
+        # (ModelError, ScheduleError, FaultSpecError) or plain
+        # ValueError (workload specs); OSError covers unreadable
+        # files.  One diagnostic line, exit 2 — the full traceback
+        # stays behind --debug.  (BrokenPipeError is an OSError
+        # subclass; its handler above runs first.)
+        if args.debug:
+            raise
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

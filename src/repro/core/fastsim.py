@@ -204,18 +204,34 @@ class FastSimulator:
         self,
         schedule: TaskSeq,
         release_times: Optional[Sequence[float]] = None,
+        task_compile_times: Optional[Sequence[float]] = None,
+        task_installs: Optional[Sequence[bool]] = None,
     ) -> _Prep:
         """Compute task timings and per-function event lists: ``O(S)``.
 
         Replicates the reference FIFO thread assignment bit-for-bit
         (ties broken by thread id) so finish times are identical.  With
         ``release_times``, task ``i`` cannot start before
-        ``release_times[i]`` (see :func:`~repro.core.makespan.simulate`).
+        ``release_times[i]``; ``task_compile_times`` / ``task_installs``
+        are the fault layer's per-task overrides (see
+        :func:`~repro.core.makespan.simulate`).
         """
         tasks = self._as_tasks(schedule)
         if release_times is not None and len(release_times) != len(tasks):
             raise ValueError(
                 f"release_times has {len(release_times)} entries for "
+                f"{len(tasks)} tasks"
+            )
+        if task_compile_times is not None and len(task_compile_times) != len(
+            tasks
+        ):
+            raise ValueError(
+                f"task_compile_times has {len(task_compile_times)} entries "
+                f"for {len(tasks)} tasks"
+            )
+        if task_installs is not None and len(task_installs) != len(tasks):
+            raise ValueError(
+                f"task_installs has {len(task_installs)} entries for "
                 f"{len(tasks)} tasks"
             )
         prep = _Prep()
@@ -228,7 +244,11 @@ class FastSimulator:
         if self._compile_threads == 1:
             t = 0.0
             for i, task in enumerate(tasks):
-                c = compile_rows[fid_of[task.function]][task.level]
+                c = (
+                    task_compile_times[i]
+                    if task_compile_times is not None
+                    else compile_rows[fid_of[task.function]][task.level]
+                )
                 if release_times is not None:
                     rel = release_times[i]
                     if t < rel:
@@ -241,7 +261,11 @@ class FastSimulator:
             free_at = [(0.0, tid) for tid in range(self._compile_threads)]
             heapq.heapify(free_at)
             for i, task in enumerate(tasks):
-                c = compile_rows[fid_of[task.function]][task.level]
+                c = (
+                    task_compile_times[i]
+                    if task_compile_times is not None
+                    else compile_rows[fid_of[task.function]][task.level]
+                )
                 start, tid = heapq.heappop(free_at)
                 if release_times is not None:
                     rel = release_times[i]
@@ -255,7 +279,9 @@ class FastSimulator:
         events: List[List[Tuple[float, int]]] = [
             list(pre) for pre in self._pre_events
         ]
-        for task, finish in zip(tasks, finishes):
+        for i, (task, finish) in enumerate(zip(tasks, finishes)):
+            if task_installs is not None and not task_installs[i]:
+                continue  # failed attempt: thread time, no code
             events[fid_of[task.function]].append((finish, task.level))
         prep.events = events
 
@@ -539,19 +565,24 @@ class FastSimulator:
         record_timeline: bool = False,
         validate: bool = False,
         release_times: Optional[Sequence[float]] = None,
+        task_compile_times: Optional[Sequence[float]] = None,
+        task_installs: Optional[Sequence[bool]] = None,
         tracer=None,
     ) -> MakespanResult:
         """Evaluate ``schedule`` from scratch; exact :func:`simulate` twin.
 
         Unlike the reference, validation defaults to off — the engine is
         built for tight loops whose callers guarantee validity.
-        ``release_times`` and ``tracer`` mirror
+        ``release_times``, ``task_compile_times``/``task_installs``
+        (the fault layer's per-task overrides), and ``tracer`` mirror
         :func:`~repro.core.makespan.simulate`; tracing never changes the
         numbers.
         """
         if self.metrics is not None:
             self.metrics.counter("fastsim.evaluations").inc()
-        prep = self._prepare(schedule, release_times)
+        prep = self._prepare(
+            schedule, release_times, task_compile_times, task_installs
+        )
         if validate:
             validate_for_simulation(
                 self._instance, Schedule(prep.tasks), self._preinstalled

@@ -134,6 +134,7 @@ def _compile_task_finishes(
     schedule: Schedule,
     compile_threads: int,
     release_times: Optional[Sequence[float]] = None,
+    task_compile_times: Optional[Sequence[float]] = None,
 ) -> Tuple[List[float], List[float], List[int]]:
     """Compute start/finish times of every task and the thread used.
 
@@ -142,7 +143,10 @@ def _compile_task_finishes(
     With ``release_times``, task ``i`` additionally cannot start before
     ``release_times[i]`` — this replays the enqueue times of a reactive
     run (``vm.runtime``), whose greedy dispatch is exactly
-    ``start = max(thread_free, enqueue_time)``.
+    ``start = max(thread_free, enqueue_time)``.  With
+    ``task_compile_times``, task ``i`` charges ``task_compile_times[i]``
+    instead of the profile's compile time — the fault layer's stalled
+    (slowed-down) attempts.
     """
     starts: List[float] = []
     finishes: List[float] = []
@@ -151,7 +155,11 @@ def _compile_task_finishes(
         # Fast path: back-to-back on one thread.
         t = 0.0
         for i, task in enumerate(schedule):
-            c = instance.profiles[task.function].compile_times[task.level]
+            c = (
+                task_compile_times[i]
+                if task_compile_times is not None
+                else instance.profiles[task.function].compile_times[task.level]
+            )
             if release_times is not None:
                 rel = release_times[i]
                 if t < rel:
@@ -164,7 +172,11 @@ def _compile_task_finishes(
     free_at = [(0.0, tid) for tid in range(compile_threads)]
     heapq.heapify(free_at)
     for i, task in enumerate(schedule):
-        c = instance.profiles[task.function].compile_times[task.level]
+        c = (
+            task_compile_times[i]
+            if task_compile_times is not None
+            else instance.profiles[task.function].compile_times[task.level]
+        )
         start, tid = heapq.heappop(free_at)
         if release_times is not None:
             rel = release_times[i]
@@ -185,6 +197,8 @@ def _simulate(
     validate: bool = True,
     preinstalled: Optional[Dict[str, int]] = None,
     release_times: Optional[Sequence[float]] = None,
+    task_compile_times: Optional[Sequence[float]] = None,
+    task_installs: Optional[Sequence[bool]] = None,
 ) -> MakespanResult:
     """Untraced simulation body; see :func:`simulate` for the contract."""
     if compile_threads < 1:
@@ -192,6 +206,16 @@ def _simulate(
     if release_times is not None and len(release_times) != len(schedule):
         raise ValueError(
             f"release_times has {len(release_times)} entries for "
+            f"{len(schedule)} tasks"
+        )
+    if task_compile_times is not None and len(task_compile_times) != len(schedule):
+        raise ValueError(
+            f"task_compile_times has {len(task_compile_times)} entries for "
+            f"{len(schedule)} tasks"
+        )
+    if task_installs is not None and len(task_installs) != len(schedule):
+        raise ValueError(
+            f"task_installs has {len(task_installs)} entries for "
             f"{len(schedule)} tasks"
         )
     preinstalled = dict(preinstalled or {})
@@ -205,14 +229,18 @@ def _simulate(
         validate_for_simulation(instance, schedule, preinstalled)
 
     starts, finishes, threads_used = _compile_task_finishes(
-        instance, schedule, compile_threads, release_times
+        instance, schedule, compile_threads, release_times, task_compile_times
     )
 
     # Per-function list of (finish_time, level), sorted by finish time.
+    # Non-installing tasks (failed compile attempts) occupy their thread
+    # but never publish code, so they contribute no event.
     by_function: Dict[str, List[Tuple[float, int]]] = {}
     for fname, level in preinstalled.items():
         by_function.setdefault(fname, []).append((0.0, level))
-    for task, finish in zip(schedule, finishes):
+    for i, (task, finish) in enumerate(zip(schedule, finishes)):
+        if task_installs is not None and not task_installs[i]:
+            continue
         by_function.setdefault(task.function, []).append((finish, task.level))
     for events in by_function.values():
         events.sort()
@@ -313,6 +341,8 @@ def simulate(
     validate: bool = True,
     preinstalled: Optional[Dict[str, int]] = None,
     release_times: Optional[Sequence[float]] = None,
+    task_compile_times: Optional[Sequence[float]] = None,
+    task_installs: Optional[Sequence[bool]] = None,
     tracer=None,
     metrics=None,
 ) -> MakespanResult:
@@ -336,6 +366,15 @@ def simulate(
         release_times: optional per-task earliest start times (one per
             schedule task); used to replay a reactive run's enqueue
             times so its emergent schedule reproduces the same timing.
+        task_compile_times: optional per-task compile-time override
+            (one per schedule task), replacing the profile lookup —
+            how :mod:`repro.faults` charges stalled (slowed) compile
+            attempts without touching the validated cost tables.
+        task_installs: optional per-task booleans; a ``False`` task
+            occupies its compiler thread for its compile time but
+            installs no code (a *failed* compile attempt).  Callers
+            must ensure every called function still gets at least one
+            installing task (``validate`` does not model installs).
         tracer: optional :class:`repro.observability.Tracer` (or scope);
             when given, the full timeline is traced as compile / call /
             bubble spans.  The numbers are bitwise identical to an
@@ -360,6 +399,7 @@ def simulate(
         result = _simulate(
             instance, schedule, compile_threads, record_timeline,
             validate, preinstalled, release_times,
+            task_compile_times, task_installs,
         )
         if metrics is not None:
             _count_run(metrics, instance, schedule)
@@ -369,6 +409,7 @@ def simulate(
     result = _simulate(
         instance, schedule, compile_threads, True,
         validate, preinstalled, release_times,
+        task_compile_times, task_installs,
     )
     trace_makespan_result(tracer, result)
     if metrics is not None:

@@ -1,0 +1,187 @@
+"""Deterministic fault decisions plus their bookkeeping.
+
+A :class:`FaultInjector` answers the questions the engines ask — *does
+this compile attempt fail?  is this thread stalled?  is this sampler
+tick lost?* — from a keyed hash of ``(seed, kind, key...)``, never from
+a shared RNG stream.  Decisions are therefore **order-independent**:
+the reactive runtime and the planned-schedule degrader reach the same
+verdict for the same ``(function, level, attempt)`` no matter how many
+other questions were asked in between, and a re-run with the same seed
+reproduces every fault bit-for-bit.
+
+The injector also tallies what actually fired (failures, retries,
+fallbacks, forced installs, stalls, dropped/duplicated ticks, wasted
+compile time) and mirrors the integer counts into an optional
+:class:`repro.observability.MetricsRegistry` under ``faults.*`` so
+``repro diagnose``/``bench`` can attribute gaps to faults.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Union
+
+from ..core.model import OCSPInstance
+from ..core.online import perturb_times
+from .spec import FaultSpec, parse_fault_spec
+
+__all__ = ["FaultInjector"]
+
+_TALLY_KEYS = (
+    "compile_failures",
+    "retries",
+    "fallbacks",
+    "forced_installs",
+    "stalls",
+    "ticks_dropped",
+    "ticks_duplicated",
+)
+
+
+class FaultInjector:
+    """Seeded fault oracle for one experiment.
+
+    Args:
+        spec: a :class:`FaultSpec` or its string form (parsed via
+            :func:`repro.faults.spec.parse_fault_spec`).
+        metrics: optional
+            :class:`repro.observability.MetricsRegistry`; every tally
+            increment is mirrored as a ``faults.<name>`` counter.
+
+    One injector may serve several engine runs (the degradation studies
+    run five schemes against one injector); the tallies then aggregate
+    every fault those runs experienced.
+    """
+
+    def __init__(
+        self,
+        spec: Union[FaultSpec, str],
+        metrics=None,
+    ) -> None:
+        self.spec = parse_fault_spec(spec)
+        self.metrics = metrics
+        self.tally: Dict[str, int] = {key: 0 for key in _TALLY_KEYS}
+        self.wasted_compile_time = 0.0
+
+    @property
+    def null(self) -> bool:
+        """True when this injector can never fire (see
+        :attr:`FaultSpec.is_null`)."""
+        return self.spec.is_null
+
+    # ------------------------------------------------------------------
+    # Decisions (order-independent, repeat-query-stable)
+    # ------------------------------------------------------------------
+    def _draw(self, kind: str, *key) -> float:
+        """Uniform [0, 1) draw keyed by ``(seed, kind, key...)``.
+
+        ``random.Random`` seeded from the key's ``repr`` hashes it
+        platform-independently (the same idiom as the cost-benefit
+        model's hotness noise), so a decision depends only on its key.
+        """
+        return random.Random(repr((self.spec.seed, kind) + key)).random()
+
+    def compile_fails(self, fname: str, level: int, attempt: int) -> bool:
+        """Whether compile attempt ``attempt`` of ``(fname, level)``
+        fails.  A firing decision is tallied as a ``compile_failure``."""
+        p = self.spec.compile_fail
+        if p <= 0.0:
+            return False
+        if self._draw("compile_fail", fname, level, attempt) < p:
+            self._count("compile_failures")
+            return True
+        return False
+
+    def compile_time_factor(self, fname: str, level: int, attempt: int) -> float:
+        """Compile-time multiplier of the attempt: ``stall_factor``
+        when the thread stalls, else exactly ``1.0`` (so unstalled
+        faulty runs charge bitwise-identical compile times)."""
+        if self.spec.stall <= 0.0:
+            return 1.0
+        if self._draw("stall", fname, level, attempt) < self.spec.stall:
+            self._count("stalls")
+            return self.spec.stall_factor
+        return 1.0
+
+    def drop_tick(self, tick: int) -> bool:
+        """Whether sampler tick ``tick`` is lost."""
+        p = self.spec.tick_drop
+        if p <= 0.0:
+            return False
+        if self._draw("tick_drop", tick) < p:
+            self._count("ticks_dropped")
+            return True
+        return False
+
+    def duplicate_tick(self, tick: int) -> bool:
+        """Whether sampler tick ``tick`` is delivered twice."""
+        p = self.spec.tick_dup
+        if p <= 0.0:
+            return False
+        if self._draw("tick_dup", tick) < p:
+            self._count("ticks_duplicated")
+            return True
+        return False
+
+    def scheduler_view(self, instance: OCSPInstance) -> OCSPInstance:
+        """The cost table the *scheduler* plans against.
+
+        With ``mispredict == 0`` this is ``instance`` itself (same
+        object — the clean path stays bitwise clean).  Otherwise every
+        profile is perturbed by a correlated lognormal of relative
+        error ``mispredict``; the simulator keeps charging the true
+        ``instance``, so the gap between the two is pure misprediction
+        cost.
+        """
+        rel = self.spec.mispredict
+        if rel == 0.0:
+            return instance
+        profiles = {
+            fname: perturb_times(
+                prof,
+                rel,
+                random.Random(
+                    repr((self.spec.seed, "mispredict", instance.name, fname))
+                ),
+                correlated=True,
+            )
+            for fname, prof in sorted(instance.profiles.items())
+        }
+        return OCSPInstance(
+            profiles=profiles,
+            calls=instance.calls,
+            name=f"{instance.name}!mispredict",
+        )
+
+    # ------------------------------------------------------------------
+    # Bookkeeping the engines report explicitly
+    # ------------------------------------------------------------------
+    def note_retry(self) -> None:
+        """A failed request is being retried at a lower level."""
+        self._count("retries")
+
+    def note_fallback(self) -> None:
+        """A request was abandoned; the function stays at its current
+        (or baseline) tier."""
+        self._count("fallbacks")
+
+    def note_forced_install(self) -> None:
+        """A first-encounter chain exhausted its retries and fell back
+        to the guaranteed baseline (level-0) compile."""
+        self._count("forced_installs")
+
+    def note_wasted(self, compile_time: float) -> None:
+        """Compiler-thread time burned by a failed attempt."""
+        self.wasted_compile_time += compile_time
+
+    def _count(self, key: str) -> None:
+        self.tally[key] += 1
+        if self.metrics is not None:
+            self.metrics.counter(f"faults.{key}").inc()
+
+    def summary(self) -> Dict[str, object]:
+        """Plain-data tally: the integer counts plus wasted compile
+        time, suitable for JSON output and test assertions."""
+        out: Dict[str, object] = dict(self.tally)
+        out["wasted_compile_time"] = self.wasted_compile_time
+        return out

@@ -1,0 +1,188 @@
+"""Fault specifications: what to inject, how often, and under which seed.
+
+A :class:`FaultSpec` is the declarative half of the fault layer — a
+plain record of rates and knobs.  The imperative half
+(:class:`repro.faults.injector.FaultInjector`) turns a spec into
+deterministic per-event decisions.  Specs travel as canonical strings
+(``compile_fail=0.1,seed=3``) so they fingerprint stably through the
+result store and survive process-pool pickling as plain text.
+
+Grammar (the ``--faults``/``--spec`` CLI surface)::
+
+    SPEC  := "" | ITEM ("," ITEM)*
+    ITEM  := KEY "=" VALUE
+
+with keys ``compile_fail``, ``stall``, ``stall_factor``, ``mispredict``,
+``tick_drop``, ``tick_dup``, ``retries``, ``backoff``, ``seed``.  The
+empty spec is the null spec: every rate zero, nothing injected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["FaultSpec", "FaultSpecError", "parse_fault_spec", "DIMENSIONS"]
+
+# Sweepable fault dimensions (see :meth:`FaultSpec.scaled`).
+DIMENSIONS: Tuple[str, ...] = ("compile_fail", "stall", "mispredict", "ticks")
+
+
+class FaultSpecError(ValueError):
+    """Raised for an unparsable or out-of-range fault specification."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Rates and knobs of the injected faults.
+
+    Attributes:
+        compile_fail: probability that one compile *attempt* fails
+            (drawn per ``(function, level, attempt)``).
+        stall: probability that one compile attempt runs on a stalled
+            compiler thread.
+        stall_factor: multiplicative compile-time factor of a stalled
+            attempt (``>= 1``; 1.0 makes stalls free).
+        mispredict: relative error of the cost table the *scheduler*
+            sees (the simulator always charges the true table); 0
+            disables misprediction.
+        tick_drop: probability that a sampler tick is dropped (the
+            scheme never observes it).
+        tick_dup: probability that a sampler tick is delivered twice.
+        retries: failed compile attempts retried (each one level lower)
+            before giving up on the request.
+        backoff: virtual-time delay before a retry may start, doubled
+            per attempt (reactive runtime path only — a planned
+            schedule has no clock to wait on).
+        seed: root seed; every decision hashes ``(seed, kind, key...)``
+            so outcomes are order-independent and reproducible.
+    """
+
+    compile_fail: float = 0.0
+    stall: float = 0.0
+    stall_factor: float = 4.0
+    mispredict: float = 0.0
+    tick_drop: float = 0.0
+    tick_dup: float = 0.0
+    retries: int = 2
+    backoff: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for key in ("compile_fail", "stall", "tick_drop", "tick_dup"):
+            value = getattr(self, key)
+            if not 0.0 <= value <= 1.0:
+                raise FaultSpecError(
+                    f"fault spec: {key} must be in [0, 1], got {value!r}"
+                )
+        if self.stall_factor < 1.0:
+            raise FaultSpecError(
+                f"fault spec: stall_factor must be >= 1, got "
+                f"{self.stall_factor!r}"
+            )
+        if self.mispredict < 0.0:
+            raise FaultSpecError(
+                f"fault spec: mispredict must be >= 0, got "
+                f"{self.mispredict!r}"
+            )
+        if self.retries < 0:
+            raise FaultSpecError(
+                f"fault spec: retries must be >= 0, got {self.retries!r}"
+            )
+        if self.backoff < 0.0:
+            raise FaultSpecError(
+                f"fault spec: backoff must be >= 0, got {self.backoff!r}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """True when no fault can ever fire (every rate is zero).
+
+        Null specs take the untouched clean code paths, which is what
+        makes zero-fault-rate results *bitwise* equal to fault-free
+        runs rather than merely close.
+        """
+        return (
+            self.compile_fail == 0.0
+            and self.stall == 0.0
+            and self.mispredict == 0.0
+            and self.tick_drop == 0.0
+            and self.tick_dup == 0.0
+        )
+
+    def scaled(self, dimension: str, rate: float) -> "FaultSpec":
+        """This spec with one fault ``dimension`` set to ``rate``.
+
+        Dimensions: ``compile_fail``, ``stall``, ``mispredict``, and
+        ``ticks`` (which sets ``tick_drop`` and ``tick_dup`` together).
+        Sweeps hold everything else fixed, so degradation curves vary
+        exactly one knob.
+        """
+        if dimension == "ticks":
+            return dataclasses.replace(self, tick_drop=rate, tick_dup=rate)
+        if dimension not in ("compile_fail", "stall", "mispredict"):
+            raise FaultSpecError(
+                f"fault spec: unknown dimension {dimension!r} "
+                f"(expected one of {', '.join(DIMENSIONS)})"
+            )
+        return dataclasses.replace(self, **{dimension: rate})
+
+    def canonical(self) -> str:
+        """The spec as a canonical string: every field, sorted by key.
+
+        ``parse_fault_spec(spec.canonical()) == spec``; the string is
+        the spec's identity for cache fingerprints and JSON output.
+        """
+        parts = []
+        for field in sorted(f.name for f in dataclasses.fields(self)):
+            parts.append(f"{field}={getattr(self, field)!r}")
+        return ",".join(parts)
+
+
+_FIELD_TYPES = {
+    field.name: field.type for field in dataclasses.fields(FaultSpec)
+}
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse a ``key=value,key=value`` fault spec string.
+
+    The empty (or all-whitespace) string parses to the null spec.
+
+    Raises:
+        FaultSpecError: on unknown keys, malformed items, unparsable
+            values, or out-of-range rates; messages carry the stable
+            ``fault spec:`` prefix.
+    """
+    if isinstance(text, FaultSpec):
+        return text
+    if not isinstance(text, str):
+        raise FaultSpecError(
+            f"fault spec: expected a string, got {type(text).__name__}"
+        )
+    values = {}
+    for raw in text.split(","):
+        item = raw.strip()
+        if not item:
+            continue
+        key, sep, value_text = item.partition("=")
+        key = key.strip()
+        value_text = value_text.strip()
+        if not sep or not key or not value_text:
+            raise FaultSpecError(
+                f"fault spec: expected key=value, got {item!r}"
+            )
+        if key not in _FIELD_TYPES:
+            raise FaultSpecError(
+                f"fault spec: unknown key {key!r} (expected one of "
+                f"{', '.join(sorted(_FIELD_TYPES))})"
+            )
+        caster = int if key in ("retries", "seed") else float
+        try:
+            values[key] = caster(value_text)
+        except ValueError as exc:
+            raise FaultSpecError(
+                f"fault spec: invalid value for {key}: {value_text!r}"
+            ) from exc
+    return FaultSpec(**values)

@@ -335,3 +335,25 @@ def _bench_runner(scale: float):
         assert run.ok
 
     return fn
+
+
+@register(
+    "faults_sweep_small",
+    description="fault-injected five-scheme sweep (2 rates, 1 benchmark)",
+)
+def _bench_faults_sweep(scale: float):
+    from ..faults.sweep import fault_sweep_rows
+
+    suite = {"perf": _workload(scale, calls_at_full=20_000, seed=13)}
+
+    def fn(metrics: MetricsRegistry) -> None:
+        rows = fault_sweep_rows(
+            suite,
+            spec="seed=0",
+            rates=(0.0, 0.2),
+            dimension="compile_fail",
+            metrics=metrics,
+        )
+        assert len(rows) == 2
+
+    return fn

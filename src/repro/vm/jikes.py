@@ -60,6 +60,7 @@ def run_jikes(
     sample_period: Optional[float] = None,
     model_seed: int = 0,
     tracer=None,
+    faults=None,
 ) -> RuntimeRunResult:
     """Replay ``instance`` under the Jikes RVM default scheme.
 
@@ -72,6 +73,8 @@ def run_jikes(
         sample_period: sampler interval (``None`` → derived).
         model_seed: seed for the default model's estimation noise.
         tracer: optional :class:`repro.observability.Tracer` (or scope).
+        faults: optional :class:`repro.faults.FaultInjector`; see
+            :class:`~repro.vm.runtime.RuntimeSimulator`.
     """
     if model is None:
         model = EstimatedModel(instance, seed=model_seed)
@@ -81,5 +84,6 @@ def run_jikes(
         compile_threads=compile_threads,
         sample_period=sample_period,
         tracer=tracer,
+        faults=faults,
     )
     return simulator.run()

@@ -54,14 +54,22 @@ class RuntimeRunResult:
     """Outcome of a reactive-runtime replay.
 
     Attributes:
-        schedule: compilation tasks in the order they were enqueued
-            (equals dequeue order under FIFO dispatch).
-        enqueue_times: when each task entered the queue.
+        schedule: *installed* compilation tasks in the order they were
+            enqueued (equals dequeue order under FIFO dispatch).  Under
+            fault injection, failed attempts occupy compiler threads
+            but appear here only through their successful retry (at the
+            level that actually installed).
+        enqueue_times: when each task's originating request entered the
+            queue.
         makespan: end of the last invocation.
         total_bubble_time: execution-thread waiting time.
         total_exec_time: sum of invocation run times.
         calls_at_level: histogram of the level each invocation ran at.
-        samples_taken: total sampler ticks that observed a function.
+        samples_taken: total sampler ticks that observed a function
+            (a duplicated tick counts twice, a dropped tick not at all).
+        fault_summary: the fault injector's tally
+            (:meth:`repro.faults.FaultInjector.summary`) when the run
+            was fault-injected, else ``None``.
     """
 
     schedule: Schedule
@@ -71,6 +79,7 @@ class RuntimeRunResult:
     total_exec_time: float
     calls_at_level: Dict[int, int]
     samples_taken: int
+    fault_summary: Optional[Dict[str, object]] = None
 
 
 class RuntimeScheme(ABC):
@@ -106,6 +115,15 @@ class RuntimeSimulator:
         sample_period: sampler tick interval; ``None`` derives one via
             :func:`default_sample_period`.  Ticks that land while the
             execution thread is stalled observe nothing.
+        faults: optional :class:`repro.faults.FaultInjector`.  Failed
+            compiles retry one level lower (with the spec's bounded
+            backoff) and fall back to the function's current tier when
+            out of retries; a first-encounter chain that exhausts its
+            retries takes a guaranteed baseline (level-0) compile so
+            execution never deadlocks.  Sampler ticks may be dropped or
+            duplicated.  A null injector (every rate zero) is
+            normalized to ``None``, keeping zero-fault-rate runs
+            bitwise equal to fault-free ones.
     """
 
     def __init__(
@@ -115,6 +133,7 @@ class RuntimeSimulator:
         compile_threads: int = 1,
         sample_period: Optional[float] = None,
         tracer=None,
+        faults=None,
     ):
         if compile_threads < 1:
             raise ValueError("compile_threads must be >= 1")
@@ -129,6 +148,7 @@ class RuntimeSimulator:
         if self.sample_period <= 0:
             raise ValueError("sample_period must be positive")
         self.tracer = tracer
+        self.faults = None if faults is None or faults.null else faults
         # Mutable co-simulation state (reset by run()).  The heap holds
         # (free_time, thread_id) so traced compile spans land on the
         # right per-thread track; the multiset of free times — and hence
@@ -156,6 +176,9 @@ class RuntimeSimulator:
         if level <= prev:
             return
         self._requested_level[fname] = level
+        if self.faults is not None:
+            self._enqueue_faulty(fname, level, time, prof)
+            return
         start_free, tid = heapq.heappop(self._thread_free)
         start = start_free if start_free > time else time
         finish = start + prof.compile_times[level]
@@ -183,6 +206,107 @@ class RuntimeSimulator:
                     "queue_wait": start - time,
                 },
             )
+
+    def _enqueue_faulty(self, fname: str, level: int, time: float, prof) -> None:
+        """The degradation chain of one request under fault injection.
+
+        Attempt the requested level; on failure retry one level lower
+        after the spec's (doubling) backoff, up to ``retries`` retries.
+        Failed attempts still occupy their compiler thread — that is
+        the cost being modelled.  A chain that runs out of retries
+        falls back to the function's current tier (no install); on a
+        *first encounter* (nothing installed yet) it instead takes one
+        guaranteed baseline compile at level 0 — the fail-safe tier a
+        production JIT's interpreter/baseline compiler provides — so
+        every called function keeps at least one installed version.
+        """
+        faults = self.faults
+        spec = faults.spec
+        events = self._finish_events.get(fname)
+        must_install = events is None
+        achieved = max(lvl for _, lvl in events) if events else -1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"enqueue {fname} L{level}",
+                "queue",
+                time,
+                category="enqueue",
+                args={"function": fname, "level": level},
+            )
+        lvl = level
+        release = time
+        attempt = 1
+        while True:
+            if not must_install and lvl <= achieved:
+                # Degraded below what is already installed (or pending):
+                # keep running at the current tier.
+                faults.note_fallback()
+                if tracer is not None:
+                    tracer.instant(
+                        f"fallback {fname}",
+                        "queue",
+                        release,
+                        category="fault",
+                        args={"function": fname, "kept_level": achieved},
+                    )
+                return
+            start_free, tid = heapq.heappop(self._thread_free)
+            start = start_free if start_free > release else release
+            factor = faults.compile_time_factor(fname, lvl, attempt)
+            c = prof.compile_times[lvl]
+            if factor != 1.0:
+                c *= factor
+            finish = start + c
+            heapq.heappush(self._thread_free, (finish, tid))
+            # The guaranteed fail-safe: a first-encounter chain past its
+            # retry budget compiles at level 0 and cannot fail.
+            guaranteed = must_install and attempt > spec.retries and lvl == 0
+            failed = not guaranteed and faults.compile_fails(fname, lvl, attempt)
+            if tracer is not None:
+                tracer.span(
+                    f"compile {fname} L{lvl}",
+                    f"compiler-{tid}",
+                    start,
+                    finish,
+                    category="compile",
+                    args={
+                        "function": fname,
+                        "level": lvl,
+                        "queue_wait": start - release,
+                        "attempt": attempt,
+                        "status": "failed" if failed else "ok",
+                    },
+                )
+            if not failed:
+                if must_install and attempt > spec.retries:
+                    faults.note_forced_install()
+                self._tasks.append(CompileTask(fname, lvl))
+                self._enqueue_times.append(time)
+                self._finish_events.setdefault(fname, []).append((finish, lvl))
+                return
+            faults.note_wasted(c)
+            if tracer is not None:
+                tracer.instant(
+                    f"compile-fail {fname} L{lvl}",
+                    f"compiler-{tid}",
+                    finish,
+                    category="fault",
+                    args={"function": fname, "level": lvl, "attempt": attempt},
+                )
+            if attempt > spec.retries and not must_install:
+                faults.note_fallback()
+                return
+            if attempt <= spec.retries:
+                faults.note_retry()
+                lvl = max(0, lvl - 1)
+            else:
+                lvl = 0  # next round is the guaranteed fail-safe
+            if spec.backoff > 0.0:
+                release = finish + spec.backoff * (2 ** (attempt - 1))
+            else:
+                release = finish
+            attempt += 1
 
     def requested_level(self, fname: str) -> int:
         """Highest level requested so far for ``fname`` (-1 if none)."""
@@ -270,17 +394,34 @@ class RuntimeSimulator:
                     if k > tick:
                         tick = k
                 t_tick = tick * period
+                faults = self.faults
                 while t_tick <= finish:
-                    ks = samples.get(fname, 0) + 1
-                    samples[fname] = ks
-                    samples_taken += 1
-                    scheme.on_sample(self, fname, ks, t_tick)
-                    if tracer is not None:
-                        tracer.instant(
-                            f"sample {fname}", "sampler", t_tick,
-                            category="sample",
-                            args={"function": fname, "k": ks},
-                        )
+                    if faults is not None and faults.drop_tick(tick):
+                        if tracer is not None:
+                            tracer.instant(
+                                f"tick-drop {fname}", "sampler", t_tick,
+                                category="fault",
+                                args={"function": fname, "tick": tick},
+                            )
+                        tick += 1
+                        t_tick = tick * period
+                        continue
+                    deliveries = (
+                        2
+                        if faults is not None and faults.duplicate_tick(tick)
+                        else 1
+                    )
+                    for _ in range(deliveries):
+                        ks = samples.get(fname, 0) + 1
+                        samples[fname] = ks
+                        samples_taken += 1
+                        scheme.on_sample(self, fname, ks, t_tick)
+                        if tracer is not None:
+                            tracer.instant(
+                                f"sample {fname}", "sampler", t_tick,
+                                category="sample",
+                                args={"function": fname, "k": ks},
+                            )
                     tick += 1
                     t_tick = tick * period
             t = finish
@@ -293,4 +434,7 @@ class RuntimeSimulator:
             total_exec_time=total_exec,
             calls_at_level=calls_at_level,
             samples_taken=samples_taken,
+            fault_summary=(
+                self.faults.summary() if self.faults is not None else None
+            ),
         )

@@ -54,6 +54,7 @@ def run_v8(
     compile_threads: int = 1,
     sample_period: Optional[float] = None,
     tracer=None,
+    faults=None,
 ) -> RuntimeRunResult:
     """Replay ``instance`` under the V8 scheme.
 
@@ -65,6 +66,8 @@ def run_v8(
         sample_period: unused by the scheme itself (no sampler hooks)
             but kept for interface uniformity.
         tracer: optional :class:`repro.observability.Tracer` (or scope).
+        faults: optional :class:`repro.faults.FaultInjector`; see
+            :class:`~repro.vm.runtime.RuntimeSimulator`.
     """
     simulator = RuntimeSimulator(
         instance,
@@ -72,5 +75,6 @@ def run_v8(
         compile_threads=compile_threads,
         sample_period=sample_period,
         tracer=tracer,
+        faults=faults,
     )
     return simulator.run()

@@ -1,0 +1,145 @@
+"""Tests for the fault-spec grammar and its canonical form."""
+
+import pytest
+
+from repro.faults import DIMENSIONS, FaultSpec, FaultSpecError, parse_fault_spec
+
+
+class TestParse:
+    def test_empty_is_null(self):
+        assert parse_fault_spec("").is_null
+        assert parse_fault_spec("   ").is_null
+        assert parse_fault_spec(",,").is_null
+
+    def test_defaults(self):
+        spec = parse_fault_spec("")
+        assert spec == FaultSpec()
+        assert spec.retries == 2
+        assert spec.stall_factor == 4.0
+        assert spec.seed == 0
+
+    def test_single_rate(self):
+        spec = parse_fault_spec("compile_fail=0.25")
+        assert spec.compile_fail == 0.25
+        assert not spec.is_null
+
+    def test_every_key(self):
+        spec = parse_fault_spec(
+            "compile_fail=0.1,stall=0.2,stall_factor=8,mispredict=0.3,"
+            "tick_drop=0.05,tick_dup=0.06,retries=1,backoff=2.5,seed=9"
+        )
+        assert spec == FaultSpec(
+            compile_fail=0.1,
+            stall=0.2,
+            stall_factor=8.0,
+            mispredict=0.3,
+            tick_drop=0.05,
+            tick_dup=0.06,
+            retries=1,
+            backoff=2.5,
+            seed=9,
+        )
+
+    def test_whitespace_tolerant(self):
+        assert parse_fault_spec(" seed = 3 , stall = 0.5 ") == FaultSpec(
+            seed=3, stall=0.5
+        )
+
+    def test_int_fields_are_ints(self):
+        spec = parse_fault_spec("retries=3,seed=7")
+        assert isinstance(spec.retries, int)
+        assert isinstance(spec.seed, int)
+
+    def test_passthrough_spec_instance(self):
+        spec = FaultSpec(stall=0.5)
+        assert parse_fault_spec(spec) is spec
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "compile_fail",         # no '='
+            "=0.5",                 # no key
+            "compile_fail=",        # no value
+            "bogus=1",              # unknown key
+            "compile_fail=high",    # unparsable float
+            "retries=1.5",          # unparsable int
+            "compile_fail=1.5",     # out of range
+            "compile_fail=-0.1",
+            "stall_factor=0.5",     # < 1
+            "mispredict=-1",
+            "retries=-1",
+            "backoff=-2",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(FaultSpecError, match="^fault spec:"):
+            parse_fault_spec(text)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(FaultSpecError, match="^fault spec:"):
+            parse_fault_spec(42)
+
+    def test_error_is_value_error(self):
+        # The CLI's top-level handler catches ValueError.
+        with pytest.raises(ValueError):
+            parse_fault_spec("nope=1")
+
+
+class TestCanonical:
+    def test_round_trip(self):
+        spec = FaultSpec(compile_fail=0.125, retries=1, seed=5, backoff=0.5)
+        assert parse_fault_spec(spec.canonical()) == spec
+
+    def test_round_trip_null(self):
+        assert parse_fault_spec(FaultSpec().canonical()) == FaultSpec()
+
+    def test_sorted_and_complete(self):
+        text = FaultSpec().canonical()
+        keys = [item.split("=")[0] for item in text.split(",")]
+        assert keys == sorted(keys)
+        assert set(keys) == {
+            "compile_fail", "stall", "stall_factor", "mispredict",
+            "tick_drop", "tick_dup", "retries", "backoff", "seed",
+        }
+
+    def test_identity_is_stable(self):
+        a = parse_fault_spec("stall=0.5,seed=1")
+        b = parse_fault_spec("seed=1,stall=0.5")
+        assert a.canonical() == b.canonical()
+
+
+class TestScaled:
+    @pytest.mark.parametrize("dimension", DIMENSIONS)
+    def test_each_dimension(self, dimension):
+        spec = FaultSpec(seed=4, retries=1).scaled(dimension, 0.3)
+        assert spec.seed == 4 and spec.retries == 1
+        if dimension == "ticks":
+            assert spec.tick_drop == 0.3 and spec.tick_dup == 0.3
+        else:
+            assert getattr(spec, dimension) == 0.3
+
+    def test_zero_rate_is_null(self):
+        for dimension in DIMENSIONS:
+            assert FaultSpec().scaled(dimension, 0.0).is_null
+
+    def test_unknown_dimension(self):
+        with pytest.raises(FaultSpecError, match="dimension"):
+            FaultSpec().scaled("gamma_rays", 0.1)
+
+    def test_out_of_range_rate(self):
+        with pytest.raises(FaultSpecError):
+            FaultSpec().scaled("compile_fail", 1.5)
+
+
+class TestIsNull:
+    def test_rates_matter(self):
+        assert FaultSpec().is_null
+        assert not FaultSpec(compile_fail=0.1).is_null
+        assert not FaultSpec(stall=0.1).is_null
+        assert not FaultSpec(mispredict=0.1).is_null
+        assert not FaultSpec(tick_drop=0.1).is_null
+        assert not FaultSpec(tick_dup=0.1).is_null
+
+    def test_knobs_do_not(self):
+        # Knobs without a rate cannot fire anything.
+        assert FaultSpec(stall_factor=16.0, retries=5, backoff=3.0, seed=9).is_null

@@ -1,0 +1,173 @@
+"""Fault injection through the reactive runtime (Jikes/V8 schemes)."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultSpec
+from repro.observability import MetricsRegistry
+from repro.vm.costbenefit import EstimatedModel
+from repro.vm.jikes import run_jikes
+from repro.vm.v8 import run_v8
+from repro.workloads import WorkloadSpec, generate
+
+
+@pytest.fixture(scope="module")
+def instance():
+    spec = WorkloadSpec(
+        name="faulty", num_functions=8, num_calls=160, num_levels=3
+    )
+    return generate(spec, seed=11)
+
+
+def assert_runs_equal(a, b) -> None:
+    assert a.schedule == b.schedule
+    assert a.enqueue_times == b.enqueue_times
+    assert a.makespan == b.makespan
+    assert a.total_bubble_time == b.total_bubble_time
+    assert a.total_exec_time == b.total_exec_time
+    assert a.calls_at_level == b.calls_at_level
+    assert a.samples_taken == b.samples_taken
+
+
+class TestNullInjector:
+    """Zero-rate injectors must leave the clean path bitwise untouched."""
+
+    def test_jikes_bitwise_clean(self, instance):
+        clean = run_jikes(instance, model=EstimatedModel(instance, seed=0))
+        nulled = run_jikes(
+            instance,
+            model=EstimatedModel(instance, seed=0),
+            faults=FaultInjector(FaultSpec()),
+        )
+        assert_runs_equal(clean, nulled)
+        assert nulled.fault_summary is None
+
+    def test_v8_bitwise_clean(self, instance):
+        projected = instance.restricted_to_levels(
+            {fname: [0, 1] for fname in instance.profiles}
+        )
+        clean = run_v8(projected)
+        nulled = run_v8(projected, faults=FaultInjector(""))
+        assert_runs_equal(clean, nulled)
+        assert nulled.fault_summary is None
+
+
+class TestFaultyRuns:
+    def test_deterministic(self, instance):
+        runs = [
+            run_jikes(
+                instance,
+                model=EstimatedModel(instance, seed=0),
+                faults=FaultInjector(FaultSpec(compile_fail=0.3, stall=0.2)),
+            )
+            for _ in range(2)
+        ]
+        assert_runs_equal(runs[0], runs[1])
+        assert runs[0].fault_summary == runs[1].fault_summary
+
+    def test_summary_reports_fired_faults(self, instance):
+        result = run_jikes(
+            instance,
+            model=EstimatedModel(instance, seed=0),
+            faults=FaultInjector(FaultSpec(compile_fail=0.6)),
+        )
+        summary = result.fault_summary
+        assert summary is not None
+        assert summary["compile_failures"] > 0
+        # Failed first-encounter chains must still install *something*:
+        # every retry/forced install traces back to a failure.
+        assert summary["compile_failures"] >= summary["retries"]
+        assert summary["wasted_compile_time"] > 0.0
+
+    def test_every_called_function_still_installs(self, instance):
+        # Graceful degradation: compile failures never leave a called
+        # function uncompiled (level 0 is the guaranteed fail-safe).
+        result = run_jikes(
+            instance,
+            model=EstimatedModel(instance, seed=0),
+            faults=FaultInjector(FaultSpec(compile_fail=0.9, retries=1)),
+        )
+        installed = {task.function for task in result.schedule}
+        assert installed == set(instance.called_functions)
+
+    def test_no_deadlock_without_retries(self, instance):
+        result = run_jikes(
+            instance,
+            model=EstimatedModel(instance, seed=0),
+            faults=FaultInjector(FaultSpec(compile_fail=0.95, retries=0)),
+        )
+        assert result.makespan > 0.0
+        assert result.fault_summary["forced_installs"] > 0
+
+    def test_stalls_slow_the_run(self, instance):
+        clean = run_jikes(instance, model=EstimatedModel(instance, seed=0))
+        stalled = run_jikes(
+            instance,
+            model=EstimatedModel(instance, seed=0),
+            faults=FaultInjector(FaultSpec(stall=1.0, stall_factor=8.0)),
+        )
+        assert stalled.fault_summary["stalls"] > 0
+        assert stalled.makespan >= clean.makespan
+
+    def test_dropped_ticks_reduce_samples(self, instance):
+        clean = run_jikes(instance, model=EstimatedModel(instance, seed=0))
+        lossy = run_jikes(
+            instance,
+            model=EstimatedModel(instance, seed=0),
+            faults=FaultInjector(FaultSpec(tick_drop=1.0)),
+        )
+        assert lossy.samples_taken == 0
+        assert lossy.fault_summary["ticks_dropped"] > 0
+        assert clean.samples_taken > 0
+
+    def test_duplicated_ticks_increase_samples(self, instance):
+        clean = run_jikes(instance, model=EstimatedModel(instance, seed=0))
+        doubled = run_jikes(
+            instance,
+            model=EstimatedModel(instance, seed=0),
+            faults=FaultInjector(FaultSpec(tick_dup=1.0)),
+        )
+        assert doubled.samples_taken == 2 * clean.samples_taken
+        assert doubled.fault_summary["ticks_duplicated"] == clean.samples_taken
+
+    def test_backoff_delays_retries(self, instance):
+        prompt = run_jikes(
+            instance,
+            model=EstimatedModel(instance, seed=0),
+            faults=FaultInjector(FaultSpec(compile_fail=0.5, seed=3)),
+        )
+        delayed = run_jikes(
+            instance,
+            model=EstimatedModel(instance, seed=0),
+            faults=FaultInjector(FaultSpec(compile_fail=0.5, seed=3, backoff=5.0)),
+        )
+        # Same seed → same fault verdicts; backoff only moves retries later.
+        assert (
+            delayed.fault_summary["compile_failures"]
+            == prompt.fault_summary["compile_failures"]
+        )
+        assert delayed.makespan >= prompt.makespan
+
+    def test_v8_faulty_run(self, instance):
+        projected = instance.restricted_to_levels(
+            {fname: [0, 1] for fname in instance.profiles}
+        )
+        result = run_v8(
+            projected, faults=FaultInjector(FaultSpec(compile_fail=0.5))
+        )
+        assert result.fault_summary["compile_failures"] > 0
+        installed = {task.function for task in result.schedule}
+        assert installed == set(projected.called_functions)
+
+
+class TestMetricsMirror:
+    def test_counters_match_tally(self, instance):
+        metrics = MetricsRegistry()
+        injector = FaultInjector(
+            FaultSpec(compile_fail=0.4, stall=0.3), metrics=metrics
+        )
+        run_jikes(
+            instance, model=EstimatedModel(instance, seed=0), faults=injector
+        )
+        for key, count in injector.tally.items():
+            if count:
+                assert metrics.counter(f"faults.{key}").value == count

@@ -41,6 +41,7 @@ def test_registry_covers_the_paper_drivers():
         "figure7",
         "figure8",
         "table2",
+        "faults_sweep",
     }
 
 

@@ -1,0 +1,194 @@
+"""Hardened trace/schedule loaders: every malformed shape is a
+structured error with a stable prefix, never a raw KeyError/TypeError."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.model import ModelError
+from repro.core.schedule import ScheduleError
+from repro.workloads import WorkloadSpec, generate
+from repro.workloads.traces import (
+    from_json,
+    load,
+    load_schedule,
+    schedule_from_json,
+    schedule_to_json,
+    to_json,
+)
+from repro.core import iar_schedule
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate(
+        WorkloadSpec(name="hard", num_functions=4, num_calls=30, num_levels=3),
+        seed=3,
+    )
+
+
+def valid_doc(instance):
+    return json.loads(to_json(instance))
+
+
+class TestTraceErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",                       # empty file
+            "{not json",              # syntax error
+            "[1, 2, 3]",              # not an object
+            '"just a string"',
+            "null",
+        ],
+    )
+    def test_bad_documents(self, text):
+        with pytest.raises(ModelError, match="^trace:"):
+            from_json(text)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("version"),
+            lambda d: d.update(version=99),
+            lambda d: d.update(version="1"),
+            lambda d: d.pop("functions"),
+            lambda d: d.update(functions={}),
+            lambda d: d.pop("calls"),
+            lambda d: d.update(calls=7),
+            lambda d: d.update(name=12),
+            lambda d: d["functions"].append("not-an-object"),
+            lambda d: d["functions"].append({"compile_times": [1.0]}),
+            lambda d: d["functions"].append(dict(d["functions"][0])),  # dup
+            lambda d: d["functions"][0].pop("compile_times"),
+            lambda d: d["functions"][0].update(compile_times=[]),
+            lambda d: d["functions"][0].update(compile_times="fast"),
+            lambda d: d["functions"][0].update(exec_times=[1.0, "slow"]),
+            lambda d: d["functions"][0].update(exec_times=[True, False]),
+            lambda d: d["functions"][0].update(compile_times=[-1.0]),
+            lambda d: d["functions"][0].update(
+                compile_times=[float("nan")]
+            ),
+            lambda d: d["functions"][0].update(
+                exec_times=[float("inf"), 1.0]
+            ),
+            # mismatched level counts (FunctionProfile invariant)
+            lambda d: d["functions"][0].update(
+                compile_times=[1.0], exec_times=[2.0, 1.0]
+            ),
+            lambda d: d["calls"].append(10 ** 6),   # out of range
+            lambda d: d["calls"].append(-1),
+            lambda d: d["calls"].append(True),      # bool is not an index
+            lambda d: d["calls"].append("f0"),      # names not allowed
+        ],
+    )
+    def test_mutated_documents(self, instance, mutate):
+        doc = valid_doc(instance)
+        mutate(doc)
+        with pytest.raises(ModelError, match="^trace:"):
+            from_json(json.dumps(doc))
+
+    def test_version_message_mentions_version(self, instance):
+        doc = valid_doc(instance)
+        doc["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            from_json(json.dumps(doc))
+
+    def test_fuzz_random_bytes_never_leak_raw_errors(self):
+        rng = random.Random(0)
+        corpus = ['{"version":1', "[[", "{}", '{"a"', "tru", "\x00\x01"]
+        for _ in range(200):
+            if rng.random() < 0.5:
+                text = "".join(
+                    chr(rng.randrange(32, 127)) for _ in range(rng.randrange(0, 40))
+                )
+            else:
+                text = rng.choice(corpus) + "".join(
+                    chr(rng.randrange(32, 127)) for _ in range(rng.randrange(0, 10))
+                )
+            with pytest.raises(ModelError, match="^trace:"):
+                from_json(text)
+
+    def test_fuzz_structured_mutations(self, instance):
+        """Randomly corrupt one field of a valid document; the loader
+        either accepts it (still well-formed) or raises ModelError —
+        never anything else."""
+        rng = random.Random(1)
+        junk = [None, True, -3, 1.5, "x", [], {}, float("nan"), [None]]
+        for _ in range(150):
+            doc = valid_doc(instance)
+            target = rng.choice(["version", "name", "functions", "calls"])
+            if rng.random() < 0.4:
+                doc[target] = rng.choice(junk)
+            elif target == "functions" and doc["functions"]:
+                entry = rng.choice(doc["functions"])
+                entry[rng.choice(["name", "compile_times", "exec_times"])] = (
+                    rng.choice(junk)
+                )
+            elif target == "calls" and doc["calls"]:
+                doc["calls"][rng.randrange(len(doc["calls"]))] = rng.choice(junk)
+            else:
+                doc.pop(target, None)
+            try:
+                from_json(json.dumps(doc))
+            except ModelError as exc:
+                assert str(exc).startswith("trace:")
+
+    def test_round_trip_still_works(self, instance):
+        assert from_json(to_json(instance)) == instance
+
+    def test_load_missing_file_is_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load(tmp_path / "missing.json")
+
+
+class TestScheduleErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "not json",
+            "[]",
+            '{"version":1}',                      # no tasks
+            '{"version":2,"tasks":[]}',           # bad version
+            '{"version":1,"tasks":{}}',
+            '{"version":1,"tasks":[["f0"]]}',     # not a pair
+            '{"version":1,"tasks":[["f0",0,1]]}',
+            '{"version":1,"tasks":["f0"]}',
+            '{"version":1,"tasks":[[0,0]]}',      # function not a string
+            '{"version":1,"tasks":[["",0]]}',     # empty name
+            '{"version":1,"tasks":[["f0","0"]]}', # level not an int
+            '{"version":1,"tasks":[["f0",true]]}',
+            '{"version":1,"tasks":[["f0",-1]]}',
+        ],
+    )
+    def test_bad_documents(self, text):
+        with pytest.raises(ScheduleError, match="^schedule:"):
+            schedule_from_json(text)
+
+    def test_unknown_function_with_instance(self, instance):
+        text = '{"version":1,"tasks":[["ghost",0]]}'
+        schedule_from_json(text)  # fine without an instance
+        with pytest.raises(ScheduleError, match="unknown function"):
+            schedule_from_json(text, instance=instance)
+
+    def test_out_of_range_level_with_instance(self, instance):
+        fname = next(iter(instance.profiles))
+        levels = instance.profiles[fname].num_levels
+        text = json.dumps(
+            {"version": 1, "tasks": [[fname, levels]]}
+        )
+        with pytest.raises(ScheduleError, match="out of range"):
+            schedule_from_json(text, instance=instance)
+
+    def test_round_trip_with_validation(self, instance, tmp_path):
+        schedule = iar_schedule(instance)
+        path = tmp_path / "sched.json"
+        path.write_text(schedule_to_json(schedule))
+        assert load_schedule(path, instance=instance) == schedule
+
+    def test_errors_are_value_errors(self):
+        # The CLI's top-level handler catches ValueError.
+        with pytest.raises(ValueError):
+            schedule_from_json("[]")
