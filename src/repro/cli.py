@@ -66,6 +66,7 @@ from .core import (
     ondemand_promotion_schedule,
     simulate,
 )
+from .core.engine import ENGINES, set_default_engine
 from .core.single_level import base_level_schedule, optimizing_level_schedule
 from .faults.spec import DIMENSIONS, FaultSpecError
 from .vm.jikes import run_jikes
@@ -86,6 +87,27 @@ _SEED_HELP = (
     "RNG seed; omitted = per-benchmark stable default (0 for synthetic "
     "specs), and an explicit 0 is honored as 0"
 )
+
+
+_ENGINE_HELP = (
+    "make-span engine: 'reference' (pure-Python oracle), 'fast' "
+    "(incremental), or 'vector' (numpy structure-of-arrays; falls back "
+    "to pure Python without numpy) — all bitwise identical (default: "
+    "$REPRO_ENGINE or the command's historical engine)"
+)
+
+
+def _add_engine_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--engine", choices=ENGINES, default=None, help=_ENGINE_HELP)
+
+
+def _apply_engine(args: argparse.Namespace) -> None:
+    """Make ``--engine`` the session default, inherited by worker
+    processes through ``$REPRO_ENGINE``."""
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        set_default_engine(engine)
+        os.environ["REPRO_ENGINE"] = engine
 
 
 def _schedulers() -> Dict[str, Callable]:
@@ -137,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("trace")
     ev.add_argument("schedule")
     ev.add_argument("--threads", type=int, default=1)
+    _add_engine_arg(ev)
     ev.add_argument(
         "--faults",
         default=None,
@@ -151,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     diag.add_argument("trace")
     diag.add_argument("schedule")
     diag.add_argument("--top", type=int, default=10)
+    _add_engine_arg(diag)
     diag.add_argument(
         "--faults",
         default=None,
@@ -194,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     study = sub.add_parser("study", help="regenerate the paper's evaluation")
     study.add_argument("--scale", type=float, default=0.01)
+    _add_engine_arg(study)
     study.add_argument(
         "--figure",
         choices=["table1", "fig5", "fig6", "fig7", "fig8", "table2", "astar", "all"],
@@ -278,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run a suite, writing one BENCH_<name>.json per benchmark"
     )
     brun.add_argument("--suite", default="quick")
+    _add_engine_arg(brun)
     brun.add_argument(
         "--scale",
         type=float,
@@ -433,9 +459,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    _apply_engine(args)
     instance = traces.load(args.trace)
     schedule = traces.load_schedule(args.schedule, instance=instance)
-    result = simulate(instance, schedule, compile_threads=args.threads)
+    result = simulate(
+        instance, schedule, compile_threads=args.threads, engine=args.engine
+    )
     lb = lower_bound(instance)
     print(f"make-span:        {result.makespan:.1f}")
     print(f"lower bound:      {lb:.1f}")
@@ -449,6 +478,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         faulted, plan = simulate_with_faults(
             instance, schedule, args.faults,
             compile_threads=args.threads, validate=False,
+            engine=args.engine,
         )
         print()
         print(f"with faults ({args.faults}):")
@@ -471,6 +501,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
+    _apply_engine(args)
     instance = traces.load(args.trace)
     schedule = traces.load_schedule(args.schedule, instance=instance)
     report = diagnose(instance, schedule, intervals=args.intervals)
@@ -561,6 +592,7 @@ _STUDY_DRIVERS = {
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
+    _apply_engine(args)
     wanted = args.figure
     jobs = None if args.jobs == 0 else args.jobs
     run = None
@@ -781,6 +813,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     if args.bench_command == "run":
+        _apply_engine(args)
         scale = args.scale
         if scale is None:
             scale = float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))

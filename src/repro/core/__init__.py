@@ -12,7 +12,10 @@ This package implements the paper's primary contribution:
 * :mod:`repro.core.astar` — A*-search for the optimum (Section 5.3);
 * :mod:`repro.core.bruteforce` — exhaustive ground truth;
 * :mod:`repro.core.complexity` — NP-completeness reductions (Theorem 2);
-* :mod:`repro.core.online` — noisy-estimate extensions (Section 8).
+* :mod:`repro.core.online` — noisy-estimate extensions (Section 8);
+* :mod:`repro.core.vecsim` — structure-of-arrays numpy kernel;
+* :mod:`repro.core.engine` — engine selection seam
+  (``reference`` / ``fast`` / ``vector``).
 """
 
 from .astar import AStarMemoryExceeded, AStarResult, astar_schedule
@@ -37,6 +40,13 @@ from .complexity import (
     schedule_from_partition_subset,
     solve_partition,
     subset_sum_from_3sat,
+)
+from .engine import (
+    ReferenceSimulator,
+    get_default_engine,
+    make_simulator,
+    resolve_engine,
+    set_default_engine,
 )
 from .fastsim import FastSimulator
 from .iar import DEFAULT_K, IARParams, IARResult, iar, iar_schedule
@@ -73,6 +83,7 @@ from .singlecore import (
     single_core_optimal_makespan,
     single_core_optimal_schedule,
 )
+from .vecsim import VectorSimulator, numpy_available
 
 __all__ = [
     # model
@@ -89,9 +100,17 @@ __all__ = [
     "simulate_single_core",
     "iter_calls",
     "FastSimulator",
+    "VectorSimulator",
+    "ReferenceSimulator",
     "MakespanResult",
     "TaskTiming",
     "CallTiming",
+    # engine seam
+    "make_simulator",
+    "resolve_engine",
+    "set_default_engine",
+    "get_default_engine",
+    "numpy_available",
     # bounds
     "lower_bound",
     "compile_aware_lower_bound",

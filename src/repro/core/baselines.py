@@ -164,10 +164,14 @@ def random_schedule(instance: OCSPInstance, seed: int = 0) -> Schedule:
         levels = list(range(instance.profiles[fname].num_levels))
         size = rng.randint(1, len(levels))
         chains[fname] = sorted(rng.sample(levels, size))
-    remaining = {f: list(chain) for f, chain in chains.items()}
+    # Per-function cursors instead of pop(0): same tasks in the same
+    # order, without the O(chain) front-removal per task.
+    cursor = {f: 0 for f in chains}
     tasks: List[CompileTask] = []
-    pool = [f for f, chain in remaining.items() for _ in chain]
+    pool = [f for f, chain in chains.items() for _ in chain]
     rng.shuffle(pool)
     for fname in pool:
-        tasks.append(CompileTask(fname, remaining[fname].pop(0)))
+        i = cursor[fname]
+        cursor[fname] = i + 1
+        tasks.append(CompileTask(fname, chains[fname][i]))
     return Schedule(tuple(tasks))

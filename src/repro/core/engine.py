@@ -1,0 +1,301 @@
+"""Engine selection seam: ``engine={"reference", "fast", "vector"}``.
+
+Every measurement in this repo funnels through one of three bitwise
+identical make-span engines:
+
+* ``"reference"`` — the pure-Python oracle,
+  :func:`repro.core.makespan.simulate` (per-call dict lookups; the
+  semantics every other engine is tested against);
+* ``"fast"`` — :class:`repro.core.fastsim.FastSimulator` (interned ids,
+  segmented replay, incremental propose/commit);
+* ``"vector"`` — :class:`repro.core.vecsim.VectorSimulator` (the
+  structure-of-arrays numpy kernel; falls back to the fast engine's
+  pure-Python path when numpy is unavailable).
+
+This module is the one place the mapping lives.  Callers thread an
+``engine`` argument (``makespan.simulate``, ``localsearch``, ``iar``,
+``faults.simulate_with_faults``, the CLI's ``--engine``); ``None``
+defers to the session default, set via :func:`set_default_engine` or
+the ``REPRO_ENGINE`` environment variable (which worker processes
+inherit), and finally to the call site's historical fallback.
+
+:func:`make_simulator` can also cache one engine per
+``(engine, compile_threads, preinstalled)`` combination on the instance
+itself, so repeated ``simulate(..., engine="vector")`` calls pay the
+per-instance interning cost once — the cache is bypassed whenever a
+metrics registry is attached, keeping work counters tied to the run
+that asked for them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence, Tuple
+
+from .fastsim import FastSimulator
+from .makespan import MakespanResult, simulate, validate_for_simulation
+from .model import OCSPInstance
+from .schedule import CompileTask, Schedule
+from .vecsim import VectorSimulator
+
+__all__ = [
+    "ENGINES",
+    "ReferenceSimulator",
+    "get_default_engine",
+    "make_simulator",
+    "resolve_engine",
+    "set_default_engine",
+]
+
+ENGINES = ("reference", "fast", "vector")
+
+_default_engine: Optional[str] = None
+
+
+def set_default_engine(engine: Optional[str]) -> None:
+    """Set the session-wide default engine (``None`` clears it)."""
+    global _default_engine
+    if engine is not None and engine not in ENGINES:
+        raise ValueError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
+    _default_engine = engine
+
+
+def get_default_engine() -> Optional[str]:
+    """The session default: :func:`set_default_engine`'s value, else
+    ``$REPRO_ENGINE``, else ``None`` (caller falls back per site)."""
+    if _default_engine is not None:
+        return _default_engine
+    env = os.environ.get("REPRO_ENGINE")
+    if env:
+        if env not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {env!r} "
+                f"(from REPRO_ENGINE)"
+            )
+        return env
+    return None
+
+
+def resolve_engine(
+    engine: Optional[str] = None, fallback: str = "reference"
+) -> str:
+    """Resolve an ``engine`` argument to a concrete engine name.
+
+    ``None`` defers to :func:`get_default_engine`, then to
+    ``fallback`` (each call site keeps its historical default).
+
+    Raises:
+        ValueError: for a name outside :data:`ENGINES`.
+    """
+    name = engine if engine is not None else (get_default_engine() or fallback)
+    if name not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {name!r}")
+    return name
+
+
+class ReferenceSimulator:
+    """The pure-Python oracle behind the engine-object interface.
+
+    Adapts :func:`repro.core.makespan.simulate` to the evaluator API the
+    fast and vector engines share (``evaluate`` / ``bind`` / ``propose``
+    / ``commit`` / ``preview`` / ``result`` / ``trace_stats``), so every
+    engine-threaded code path can run against the oracle without a
+    special case.  There is no incremental machinery: ``propose`` runs a
+    full simulation (its ``cutoff`` is accepted but ignored — the true
+    span is returned, which makes every caller's ``span <= incumbent``
+    decision identical to the early-exit engines').
+
+    ``trace_stats`` does not support ``preinstalled`` functions (the
+    underlying :func:`~repro.core.makespan.iter_calls` stream has no
+    notion of them); the fast and vector engines are the tools for that.
+    """
+
+    def __init__(
+        self,
+        instance: OCSPInstance,
+        compile_threads: int = 1,
+        preinstalled: Optional[Dict[str, int]] = None,
+        metrics=None,
+    ) -> None:
+        if compile_threads < 1:
+            raise ValueError(
+                f"compile_threads must be >= 1, got {compile_threads}"
+            )
+        self._instance = instance
+        self._compile_threads = compile_threads
+        self._preinstalled = dict(preinstalled or {})
+        for fname, level in self._preinstalled.items():
+            prof = instance.profiles.get(fname)
+            if prof is None or not 0 <= level < prof.num_levels:
+                raise ValueError(
+                    f"preinstalled level {level} invalid for {fname!r}"
+                )
+        self.metrics = metrics
+        self._b_tasks: Optional[Tuple[CompileTask, ...]] = None
+        self._b_makespan = 0.0
+        self._cand: Optional[Tuple[Tuple[CompileTask, ...], float]] = None
+
+    @staticmethod
+    def _as_tasks(schedule) -> Tuple[CompileTask, ...]:
+        return tuple(getattr(schedule, "tasks", schedule))
+
+    def evaluate(
+        self,
+        schedule,
+        record_timeline: bool = False,
+        validate: bool = False,
+        release_times: Optional[Sequence[float]] = None,
+        task_compile_times: Optional[Sequence[float]] = None,
+        task_installs: Optional[Sequence[bool]] = None,
+        tracer=None,
+    ) -> MakespanResult:
+        return simulate(
+            self._instance,
+            Schedule(self._as_tasks(schedule)),
+            compile_threads=self._compile_threads,
+            record_timeline=record_timeline,
+            validate=validate,
+            preinstalled=self._preinstalled or None,
+            release_times=release_times,
+            task_compile_times=task_compile_times,
+            task_installs=task_installs,
+            tracer=tracer,
+            metrics=self.metrics,
+        )
+
+    def trace_stats(
+        self,
+        schedule,
+        before_time: Optional[float] = None,
+        after_time: Optional[float] = None,
+    ):
+        if self._preinstalled:
+            raise NotImplementedError(
+                "ReferenceSimulator.trace_stats does not support "
+                "preinstalled functions"
+            )
+        from .iar import _trace_stats
+
+        return _trace_stats(
+            self._instance,
+            Schedule(self._as_tasks(schedule)),
+            before_time=before_time,
+            after_time=after_time,
+        )
+
+    # -- incremental interface (full re-evaluation each time) ----------
+    def bind(self, schedule, validate: bool = False) -> float:
+        tasks = self._as_tasks(schedule)
+        if validate:
+            validate_for_simulation(
+                self._instance, Schedule(tasks), self._preinstalled
+            )
+        self._b_tasks = tasks
+        self._b_makespan = self.evaluate(tasks).makespan
+        self._cand = None
+        return self._b_makespan
+
+    @property
+    def baseline_makespan(self) -> float:
+        self._require_bound()
+        return self._b_makespan
+
+    @property
+    def baseline_tasks(self) -> Tuple[CompileTask, ...]:
+        self._require_bound()
+        return self._b_tasks  # type: ignore[return-value]
+
+    def _require_bound(self) -> None:
+        if self._b_tasks is None:
+            raise RuntimeError("no baseline bound; call bind() first")
+
+    def propose(self, tasks, cutoff: Optional[float] = None) -> float:
+        self._require_bound()
+        candidate = self._as_tasks(tasks)
+        span = self.evaluate(candidate).makespan
+        self._cand = (candidate, span)
+        return span
+
+    def commit(self) -> float:
+        self._require_bound()
+        if self._cand is None:
+            raise RuntimeError("no pending candidate; call propose() first")
+        self._b_tasks, self._b_makespan = self._cand
+        self._cand = None
+        return self._b_makespan
+
+    def preview(self, tasks, record_timeline: bool = False) -> MakespanResult:
+        self._require_bound()
+        self._cand = None  # previews do not arm commit()
+        return self.evaluate(tasks, record_timeline=record_timeline)
+
+    def result(self, record_timeline: bool = False) -> MakespanResult:
+        self._require_bound()
+        return self.evaluate(self._b_tasks, record_timeline=record_timeline)
+
+
+_SIMULATORS = {
+    "reference": ReferenceSimulator,
+    "fast": FastSimulator,
+    "vector": VectorSimulator,
+}
+
+
+def make_simulator(
+    instance: OCSPInstance,
+    engine: Optional[str] = None,
+    compile_threads: int = 1,
+    preinstalled: Optional[Dict[str, int]] = None,
+    metrics=None,
+    fallback: str = "fast",
+    cached: bool = False,
+):
+    """Build (or fetch) the evaluator for ``engine`` on ``instance``.
+
+    Args:
+        instance: the workload.
+        engine: one of :data:`ENGINES`, or ``None`` for the session
+            default / ``fallback``.
+        compile_threads: compiler threads (fixed per engine object).
+        preinstalled: functions available from t = 0.
+        metrics: optional metrics registry; a metrics-carrying request
+            always builds a fresh engine (never served from the cache).
+        fallback: engine used when neither ``engine`` nor a session
+            default picks one.
+        cached: reuse one engine per ``(engine, compile_threads,
+            preinstalled)`` key, memoized on the instance — safe for
+            stateless ``evaluate`` loops, which is what the cache
+            serves; incremental users should build their own engine.
+
+    Raises:
+        ValueError: for an unknown engine name or invalid engine
+            arguments.
+    """
+    name = resolve_engine(engine, fallback)
+    if cached and metrics is None:
+        key = (
+            name,
+            compile_threads,
+            tuple(sorted((preinstalled or {}).items())),
+        )
+        cache = getattr(instance, "_engine_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(instance, "_engine_cache", cache)
+        sim = cache.get(key)
+        if sim is None:
+            sim = _SIMULATORS[name](
+                instance,
+                compile_threads=compile_threads,
+                preinstalled=preinstalled,
+            )
+            cache[key] = sim
+        return sim
+    return _SIMULATORS[name](
+        instance,
+        compile_threads=compile_threads,
+        preinstalled=preinstalled,
+        metrics=metrics,
+    )

@@ -217,6 +217,7 @@ def iar(
     params: IARParams = IARParams(),
     high_levels: Optional[Mapping[str, int]] = None,
     metrics=None,
+    engine: Optional[str] = None,
 ) -> IARResult:
     """Run the IAR algorithm and return the schedule with diagnostics.
 
@@ -232,13 +233,21 @@ def iar(
             ``iar.gap_appends``, ``iar.step3_reverted``, and with
             ``exact_slack`` the ``iar.exact_slack.*`` family) record how
             the schedule was built.
+        engine: make-span engine for the trace passes and verification
+            simulations — ``"fast"`` (the default), ``"vector"``, or
+            ``"reference"``; all walk identical schedules (the engines
+            are bitwise-exact twins).  ``None`` defers to the session
+            default (:func:`repro.core.engine.set_default_engine` /
+            ``$REPRO_ENGINE``), then to ``"fast"``.
     """
+    from .engine import make_simulator
+
     infos = _function_infos(instance, high_levels)
     order = instance.called_functions  # first-appearance order
     # One engine serves every trace pass and verification simulation in
     # this run; its per-instance arrays (interned call sequence, cost
     # rows) are built once instead of once per pass.
-    fs = FastSimulator(instance)
+    fs = make_simulator(instance, engine, fallback="fast")
 
     # ------------------------------------------------------------ step 1
     init_tasks: List[CompileTask] = [
@@ -544,6 +553,9 @@ def iar_schedule(
     instance: OCSPInstance,
     k: float = DEFAULT_K,
     high_levels: Optional[Mapping[str, int]] = None,
+    engine: Optional[str] = None,
 ) -> Schedule:
     """Convenience wrapper returning only the IAR schedule."""
-    return iar(instance, IARParams(k=k), high_levels=high_levels).schedule
+    return iar(
+        instance, IARParams(k=k), high_levels=high_levels, engine=engine
+    ).schedule

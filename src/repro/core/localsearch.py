@@ -40,10 +40,11 @@ from .fastsim import FastSimulator
 from .makespan import simulate
 from .model import OCSPInstance
 from .schedule import CompileTask, Schedule
+from .vecsim import VectorSimulator
 
 __all__ = ["SearchStats", "improve_schedule"]
 
-ENGINES = ("fast", "reference")
+ENGINES = ("fast", "vector", "reference")
 
 
 @dataclass(frozen=True)
@@ -164,7 +165,7 @@ def improve_schedule(
     seed: int = 0,
     temperature: float = 0.0,
     compile_threads: int = 1,
-    engine: str = "fast",
+    engine: Optional[str] = None,
     metrics=None,
 ) -> Tuple[Schedule, SearchStats]:
     """Randomized local search from ``schedule``.
@@ -180,8 +181,13 @@ def improve_schedule(
             make-span).
         compile_threads: compiler threads for evaluation.
         engine: ``"fast"`` (incremental :class:`FastSimulator`, the
-            default) or ``"reference"`` (one full :func:`simulate` per
-            move).  Both produce identical results; see the module docs.
+            default), ``"vector"`` (incremental
+            :class:`~repro.core.vecsim.VectorSimulator`, the numpy
+            structure-of-arrays kernel), or ``"reference"`` (one full
+            :func:`simulate` per move).  All produce identical results;
+            ``None`` defers to the session default
+            (:func:`repro.core.engine.set_default_engine` /
+            ``$REPRO_ENGINE``), then to ``"fast"``.
         metrics: optional
             :class:`repro.observability.MetricsRegistry`; records move
             outcomes (``localsearch.proposed`` / ``fizzled`` /
@@ -201,14 +207,19 @@ def improve_schedule(
     """
     if iterations < 1:
         raise ValueError("iterations must be >= 1")
+    if engine is None:
+        from .engine import get_default_engine
+
+        engine = get_default_engine() or "fast"
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     schedule.validate(instance)
     rng = random.Random(seed)
 
     fast: Optional[FastSimulator] = None
-    if engine == "fast":
-        fast = FastSimulator(
+    if engine in ("fast", "vector"):
+        cls = FastSimulator if engine == "fast" else VectorSimulator
+        fast = cls(
             instance, compile_threads=compile_threads, metrics=metrics
         )
         current_span = fast.bind(schedule)

@@ -27,6 +27,7 @@ Model (Sections 3, 4.2, 6.2.3):
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -333,6 +334,25 @@ def _simulate(
     )
 
 
+def _active_default_engine() -> Optional[str]:
+    """The session default engine, without importing the seam eagerly.
+
+    The engine module is consulted only when it is already loaded or
+    when ``$REPRO_ENGINE`` asks for it — a bare ``simulate()`` call in a
+    process that never touched the seam pays nothing.
+    """
+    import sys
+
+    mod = sys.modules.get("repro.core.engine")
+    if mod is not None:
+        return mod.get_default_engine()
+    if os.environ.get("REPRO_ENGINE"):
+        from . import engine as mod
+
+        return mod.get_default_engine()
+    return None
+
+
 def simulate(
     instance: OCSPInstance,
     schedule: Schedule,
@@ -345,6 +365,7 @@ def simulate(
     task_installs: Optional[Sequence[bool]] = None,
     tracer=None,
     metrics=None,
+    engine: Optional[str] = None,
 ) -> MakespanResult:
     """Simulate ``schedule`` driving ``instance`` and return timings.
 
@@ -386,6 +407,16 @@ def simulate(
             happens once per run outside the replay loop, so the hot
             body is untouched and ``metrics=None`` (the default) costs
             a single branch.
+        engine: ``"reference"`` (this module's pure-Python loop, the
+            default), ``"fast"``
+            (:class:`~repro.core.fastsim.FastSimulator`), or
+            ``"vector"`` (:class:`~repro.core.vecsim.VectorSimulator`,
+            the numpy structure-of-arrays kernel).  All three are
+            bitwise identical; ``None`` defers to the session default
+            (:func:`repro.core.engine.set_default_engine` /
+            ``$REPRO_ENGINE``), then to ``"reference"``.  Non-reference
+            engines are cached per instance, so tight loops pay the
+            per-instance interning once.
 
     Returns:
         A :class:`MakespanResult`.
@@ -393,8 +424,34 @@ def simulate(
     Raises:
         ScheduleError: if ``validate`` and the schedule is illegal.
         ValueError: if ``compile_threads < 1``, a preinstalled level is
-            out of range, or ``release_times`` has the wrong length.
+            out of range, ``release_times`` has the wrong length, or
+            ``engine`` is unknown.
     """
+    if engine is None:
+        engine = _active_default_engine()
+    if engine is not None and engine != "reference":
+        from .engine import make_simulator
+
+        sim = make_simulator(
+            instance,
+            engine,
+            compile_threads=compile_threads,
+            preinstalled=preinstalled,
+            fallback="reference",
+            cached=True,
+        )
+        result = sim.evaluate(
+            schedule,
+            record_timeline=record_timeline,
+            validate=validate,
+            release_times=release_times,
+            task_compile_times=task_compile_times,
+            task_installs=task_installs,
+            tracer=tracer,
+        )
+        if metrics is not None:
+            _count_run(metrics, instance, schedule)
+        return result
     if tracer is None:
         result = _simulate(
             instance, schedule, compile_threads, record_timeline,

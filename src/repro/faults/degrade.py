@@ -22,10 +22,9 @@ on the compiler threads).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.bounds import lower_bound
-from ..core.fastsim import FastSimulator
 from ..core.iar import IARParams, iar
 from ..core.makespan import MakespanResult, simulate
 from ..core.model import OCSPInstance
@@ -196,7 +195,7 @@ def simulate_with_faults(
     compile_threads: int = 1,
     record_timeline: bool = False,
     validate: bool = True,
-    engine: str = "reference",
+    engine: Optional[str] = None,
     metrics=None,
 ) -> Tuple[MakespanResult, FaultyPlan]:
     """Degrade ``schedule`` under ``faults`` and measure the result.
@@ -213,9 +212,14 @@ def simulate_with_faults(
         validate: validate the *intended* schedule first (the degraded
             plan is by construction simulatable but not a valid
             monotone schedule, so it is never validated).
-        engine: ``"reference"`` (:func:`repro.core.makespan.simulate`)
-            or ``"fast"`` (:class:`repro.core.fastsim.FastSimulator`);
-            both produce bitwise-identical numbers.
+        engine: ``"reference"`` (:func:`repro.core.makespan.simulate`),
+            ``"fast"`` (:class:`repro.core.fastsim.FastSimulator`), or
+            ``"vector"`` (:class:`repro.core.vecsim.VectorSimulator`);
+            all produce bitwise-identical numbers — including the
+            degradation decisions, which happen before any engine runs.
+            ``None`` defers to the session default
+            (:func:`repro.core.engine.set_default_engine` /
+            ``$REPRO_ENGINE``), then to ``"reference"``.
         metrics: optional metrics registry, passed to the engine and —
             when ``faults`` is not already an injector — the injector.
 
@@ -224,10 +228,9 @@ def simulate_with_faults(
         that produced them.  A null spec takes the untouched clean
         path, so its result is bitwise equal to a fault-free run.
     """
-    if engine not in ("reference", "fast"):
-        raise ValueError(
-            f"engine must be 'reference' or 'fast', got {engine!r}"
-        )
+    from ..core.engine import make_simulator, resolve_engine
+
+    engine = resolve_engine(engine, fallback="reference")
     injector = _as_injector(faults, metrics=metrics)
     if validate:
         schedule.validate(instance)
@@ -240,8 +243,11 @@ def simulate_with_faults(
             ),
             installs=(True,) * len(schedule),
         )
-        if engine == "fast":
-            sim = FastSimulator(instance, compile_threads, metrics=metrics)
+        if engine != "reference":
+            sim = make_simulator(
+                instance, engine, compile_threads=compile_threads,
+                metrics=metrics,
+            )
             return sim.evaluate(schedule, record_timeline=record_timeline), plan
         return (
             simulate(
@@ -255,8 +261,11 @@ def simulate_with_faults(
             plan,
         )
     plan = apply_to_schedule(instance, schedule, injector)
-    if engine == "fast":
-        sim = FastSimulator(instance, compile_threads, metrics=metrics)
+    if engine != "reference":
+        sim = make_simulator(
+            instance, engine, compile_threads=compile_threads,
+            metrics=metrics,
+        )
         result = sim.evaluate(
             plan.tasks,
             record_timeline=record_timeline,

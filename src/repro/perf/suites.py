@@ -8,10 +8,20 @@ from ``scale`` with the same convention as the pytest benchmark suite
 baseline — results at different scales never compare.
 
 The ``quick`` suite covers every instrumented hot path: the reference
-simulator, the fast engine (full and incremental), local search, the
-priority-queue co-simulation, the result store, tracing, and the
-parallel experiment runner.  It is sized to finish in seconds at the
-default scale so CI can gate on it.
+simulator, the fast engine (full and incremental), the vector engine,
+local search, the priority-queue co-simulation, the result store,
+tracing, and the parallel experiment runner.  It is sized to finish in
+seconds at the default scale so CI can gate on it.
+
+Two narrower suites serve the engine-equivalence story:
+
+* ``vecsim`` — only the engine-pinned benchmarks (each names its engine
+  explicitly, so running them under ``--engine vector`` or
+  ``$REPRO_ENGINE`` cannot change their counters vs the committed
+  baselines);
+* ``speedup`` — the reference/fast/vector evaluation benchmarks whose
+  committed baselines back the documented speedup table (the same
+  workload and schedule measured through each engine).
 """
 
 from __future__ import annotations
@@ -144,6 +154,7 @@ def _workload(scale: float, calls_at_full: int = 200_000, seed: int = 42):
 # ----------------------------------------------------------------------
 @register(
     "core_simulate",
+    suites=("quick", "speedup"),
     description="reference simulate() on a base-level schedule",
 )
 def _bench_core_simulate(scale: float):
@@ -154,14 +165,45 @@ def _bench_core_simulate(scale: float):
     schedule = base_level_schedule(instance)
 
     def fn(metrics: MetricsRegistry) -> None:
+        # Engine pinned: this benchmark *is* the reference measurement,
+        # whatever engine the session defaults to.
         for _ in range(5):
-            simulate(instance, schedule, validate=False, metrics=metrics)
+            simulate(
+                instance, schedule, validate=False, metrics=metrics,
+                engine="reference",
+            )
+
+    return fn
+
+
+@register(
+    "core_simulate_vector",
+    suites=("quick", "vecsim", "speedup"),
+    description="simulate(engine='vector') on the core_simulate workload",
+)
+def _bench_core_simulate_vector(scale: float):
+    from ..core.makespan import simulate
+    from ..core.single_level import base_level_schedule
+
+    instance = _workload(scale)
+    schedule = base_level_schedule(instance)
+
+    def fn(metrics: MetricsRegistry) -> None:
+        # Same workload, schedule, and counters as core_simulate — the
+        # committed baseline pair documents the vector engine's speedup
+        # and proves counter identity across engines.
+        for _ in range(5):
+            simulate(
+                instance, schedule, validate=False, metrics=metrics,
+                engine="vector",
+            )
 
     return fn
 
 
 @register(
     "fastsim_evaluate",
+    suites=("quick", "vecsim", "speedup"),
     description="FastSimulator full (non-incremental) evaluation",
 )
 def _bench_fastsim_evaluate(scale: float):
@@ -173,6 +215,33 @@ def _bench_fastsim_evaluate(scale: float):
     engine = FastSimulator(instance)
 
     def fn(metrics: MetricsRegistry) -> None:
+        engine.metrics = metrics
+        try:
+            for _ in range(5):
+                engine.evaluate(schedule)
+        finally:
+            engine.metrics = None
+
+    return fn
+
+
+@register(
+    "vecsim_evaluate",
+    suites=("quick", "vecsim", "speedup"),
+    description="VectorSimulator full (non-incremental) evaluation",
+)
+def _bench_vecsim_evaluate(scale: float):
+    from ..core.single_level import base_level_schedule
+    from ..core.vecsim import VectorSimulator
+
+    instance = _workload(scale)
+    schedule = base_level_schedule(instance)
+    engine = VectorSimulator(instance)
+
+    def fn(metrics: MetricsRegistry) -> None:
+        # Counter-exact twin of fastsim_evaluate: identical work
+        # counters, different wall time — the pair of committed
+        # baselines is the regression gate for both claims.
         engine.metrics = metrics
         try:
             for _ in range(5):

@@ -62,10 +62,13 @@ class PriorityRuntimeSimulator:
             records enqueues, compile spans, calls, bubbles, samples.
         metrics: optional :class:`repro.observability.MetricsRegistry`;
             records ``priorityqueue.enqueued`` / ``deduped`` /
-            ``dispatched`` / ``reheapifies`` per event and bulk
-            ``priorityqueue.calls`` / ``samples`` at the end of
-            :meth:`run`.  ``None`` (the default) costs one branch per
-            event and never changes the numbers.
+            ``dispatched`` per event, ``priorityqueue.reheapifies``
+            for each dispatch that had to fall back to a linear scan of
+            the ready pool (multi-thread only; see
+            :meth:`_dispatch_one`), and bulk ``priorityqueue.calls`` /
+            ``samples`` at the end of :meth:`run`.  ``None`` (the
+            default) costs one branch per event and never changes the
+            numbers.
     """
 
     def __init__(
@@ -106,7 +109,17 @@ class PriorityRuntimeSimulator:
             (0.0, tid) for tid in range(self.compile_threads)
         ]
         heapq.heapify(self._threads)
-        self._pending: List[Tuple[Tuple, int, float, str, int]] = []
+        # Pending requests live in two heaps so a dispatch is O(log n)
+        # instead of the old O(n) scan + heapify of one flat list:
+        # ``_unarrived`` orders by arrival time and feeds ``_ready``
+        # (ordered by priority key) as the dispatch clock passes each
+        # arrival.  ``_ready_arrivals`` tracks the ready pool's earliest
+        # arrival lazily — entries whose seq is in ``_done`` are stale
+        # (already dispatched) and skipped at the root.
+        self._unarrived: List[Tuple[float, int, Tuple, str, int]] = []
+        self._ready: List[Tuple[Tuple, int, float, str, int]] = []
+        self._ready_arrivals: List[Tuple[float, int]] = []
+        self._done: set = set()
         self._seq = itertools.count()
         self._requested_level: Dict[str, int] = {}
         self._finish_events: Dict[str, List[Tuple[float, int]]] = {}
@@ -131,7 +144,7 @@ class PriorityRuntimeSimulator:
         if self.metrics is not None:
             self.metrics.counter("priorityqueue.enqueued").inc()
         key = self.policy(level, self._observed.get(fname, 0), next(self._seq))
-        heapq.heappush(self._pending, (key, next(self._seq), time, fname, level))
+        heapq.heappush(self._unarrived, (time, next(self._seq), key, fname, level))
         self._enqueue_times.append(time)
         if self.tracer is not None:
             self.tracer.instant(
@@ -160,21 +173,43 @@ class PriorityRuntimeSimulator:
         Returns:
             True if a request was dispatched.
         """
-        if not self._pending:
+        if not self._unarrived and not self._ready:
             return False
         thread_free = self._threads[0][0]
-        earliest_arrival = min(item[2] for item in self._pending)
+        ready_arrivals = self._ready_arrivals
+        done = self._done
+        while ready_arrivals and ready_arrivals[0][1] in done:
+            heapq.heappop(ready_arrivals)
+        earliest_arrival = (
+            ready_arrivals[0][0] if ready_arrivals else self._unarrived[0][0]
+        )
+        if self._unarrived and self._unarrived[0][0] < earliest_arrival:
+            earliest_arrival = self._unarrived[0][0]
         dispatch_at = max(thread_free, earliest_arrival)
         if horizon is not None and dispatch_at > horizon:
             return False
-        # Highest-priority request that has arrived by dispatch_at.
-        arrived = [item for item in self._pending if item[2] <= dispatch_at]
-        chosen = min(arrived)
-        self._pending.remove(chosen)
-        heapq.heapify(self._pending)
+        while self._unarrived and self._unarrived[0][0] <= dispatch_at:
+            time, seq, key, f, lvl = heapq.heappop(self._unarrived)
+            heapq.heappush(self._ready, (key, seq, time, f, lvl))
+            heapq.heappush(ready_arrivals, (time, seq))
+        # Highest-priority request that has arrived by dispatch_at.  The
+        # ready root almost always qualifies (always, with one compiler
+        # thread: the dispatch clock only moves forward); with several
+        # threads a later dispatch moment can fall before the root's
+        # arrival, and only then is the old linear scan + re-heapify
+        # needed — ``priorityqueue.reheapifies`` counts exactly those.
+        if self._ready[0][2] <= dispatch_at:
+            chosen = heapq.heappop(self._ready)
+        else:
+            arrived = [item for item in self._ready if item[2] <= dispatch_at]
+            chosen = min(arrived)
+            self._ready.remove(chosen)
+            heapq.heapify(self._ready)
+            if self.metrics is not None:
+                self.metrics.counter("priorityqueue.reheapifies").inc()
+        done.add(chosen[1])
         if self.metrics is not None:
             self.metrics.counter("priorityqueue.dispatched").inc()
-            self.metrics.counter("priorityqueue.reheapifies").inc()
         _key, _seq, arrival, fname, level = chosen
         _free, tid = heapq.heappop(self._threads)
         c = self.instance.profiles[fname].compile_times[level]

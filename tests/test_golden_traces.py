@@ -102,3 +102,35 @@ def test_repeated_loads_are_identical():
     b = dacapo.load("antlr", scale=SCALE)
     assert a.calls == b.calls
     assert a.profiles == b.profiles
+
+
+# ---------------------------------------------------------------------------
+# full-length pins (scale 0.1, ~240k calls): the three engines must
+# agree bitwise on a trace long enough to exercise every replay chunk
+# path, and the absolute numbers are frozen.  Regenerate (after an
+# intended change) with the docstring recipe, using scale=0.1.
+# ---------------------------------------------------------------------------
+
+FULL_SCALE = 0.1
+# antlr @ scale=0.1, default seed: exact values, not approx.
+FULL_GOLDEN_IAR = 341302.5746184745
+FULL_GOLDEN_JIKES = 581049.4458593946
+FULL_GOLDEN_V8 = 940845.9573871085
+FULL_GOLDEN_SAMPLES = (229, 302)  # (jikes, v8)
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
+def test_full_length_iar_makespan_exact_per_engine(engine):
+    instance = dacapo.load("antlr", scale=FULL_SCALE)
+    schedule = iar_schedule(instance)
+    result = simulate(instance, schedule, validate=False, engine=engine)
+    assert result.makespan == FULL_GOLDEN_IAR
+
+
+def test_full_length_runtime_pins():
+    instance = dacapo.load("antlr", scale=FULL_SCALE)
+    jikes = run_jikes(instance)
+    v8 = run_v8(instance)
+    assert jikes.makespan == FULL_GOLDEN_JIKES
+    assert v8.makespan == FULL_GOLDEN_V8
+    assert (jikes.samples_taken, v8.samples_taken) == FULL_GOLDEN_SAMPLES
