@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 import time
+import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -29,6 +30,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 
 from ..core.astar import AStarMemoryExceeded, astar_schedule
 from ..store import (
+    StoreCorruptionError,
     CODE_VERSION,
     ResultStore,
     RunState,
@@ -612,7 +614,7 @@ class _UnitState:
 
     __slots__ = (
         "driver", "bench", "kwargs", "fingerprint",
-        "attempts", "status", "rows", "error", "suspect",
+        "attempts", "status", "rows", "error", "failure", "suspect",
     )
 
     def __init__(self, driver: str, bench: str, kwargs: Dict[str, object]):
@@ -624,6 +626,9 @@ class _UnitState:
         self.status = "pending"
         self.rows: Optional[List[Dict[str, object]]] = None
         self.error: Optional[str] = None
+        # Structured failure record (exception type, unit key, message,
+        # traceback tail) journaled alongside the one-line ``error``.
+        self.failure: Optional[Dict[str, object]] = None
         # Set when this unit was in flight during a pool breakage: the
         # crasher is indistinguishable from its victims, so all of them
         # are re-probed one at a time until exonerated (see
@@ -642,16 +647,44 @@ class _UnitState:
 _FORK_SUITE: Optional[Suite] = None
 
 
+def _failure_record(exc: BaseException, unit: str) -> Dict[str, object]:
+    """A structured, journal-able description of one unit failure."""
+    frames = traceback.extract_tb(exc.__traceback__)[-3:]
+    return {
+        "unit": unit,
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": [
+            f"{frame.filename}:{frame.lineno} in {frame.name}"
+            for frame in frames
+        ],
+    }
+
+
+def _summarize(failure: Dict[str, object]) -> str:
+    """The one-line ``error`` string for a failure record."""
+    return f"{failure['type']}: {failure['message']}"
+
+
 def _run_unit(unit):
-    """One (driver, benchmark) work unit; exceptions become data."""
+    """One (driver, benchmark) work unit; exceptions become data.
+
+    The caught exception travels back as a structured failure record
+    (type, unit key, message, traceback tail), not a bare string —
+    except store corruption, which is never the unit's fault and must
+    abort the run rather than be charged as a per-unit failure.
+    """
     driver_name, bench_name, instance, kwargs = unit
     if instance is None:  # fork path: read the inherited suite
         instance = _FORK_SUITE[bench_name]
     try:
         rows = PARALLEL_DRIVERS[driver_name]({bench_name: instance}, **kwargs)
         return driver_name, bench_name, rows, None
+    except StoreCorruptionError:
+        raise
     except Exception as exc:  # isolate the failing trace
-        return driver_name, bench_name, [], f"{type(exc).__name__}: {exc}"
+        failure = _failure_record(exc, f"{driver_name}/{bench_name}")
+        return driver_name, bench_name, [], failure
 
 
 def _execute_serial(
@@ -669,14 +702,15 @@ def _execute_serial(
             state.attempts += 1
             if metrics is not None:
                 metrics.counter("runner.dispatched").inc()
-            _, _, rows, error = _run_unit(
+            _, _, rows, failure = _run_unit(
                 (state.driver, state.bench, suite[state.bench], state.kwargs)
             )
-            if error is None:
+            if failure is None:
                 state.rows = rows
                 state.status = "computed" if state.attempts == 1 else "retried"
                 break
-            state.error = error
+            state.error = _summarize(failure)
+            state.failure = failure
             if state.attempts > max_retries:
                 state.status = "failed"
                 break
@@ -692,12 +726,17 @@ def _shutdown_pool(pool) -> None:
     otherwise pin its worker — and the caller — forever)."""
     try:
         pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:
+    except (OSError, RuntimeError):
+        # A pool whose manager thread already died can raise while
+        # draining its queues; the per-process terminate below is the
+        # cleanup that actually matters.
         pass
     for proc in list((getattr(pool, "_processes", None) or {}).values()):
         try:
             proc.terminate()
-        except Exception:
+        except (OSError, ValueError):
+            # ProcessLookupError (an OSError): already gone.  ValueError:
+            # already closed.  Anything else is a real bug — surface it.
             pass
 
 
@@ -778,10 +817,19 @@ def _execute_pool(
             finalize(state)
 
         def charge_failure(
-            state: _UnitState, error: str, exhausted_status: str
+            state: _UnitState,
+            error: str,
+            exhausted_status: str,
+            failure: Optional[Dict[str, object]] = None,
         ) -> None:
             """One attempt just failed: retry with backoff or give up."""
             state.error = error
+            state.failure = failure if failure is not None else {
+                "unit": state.key,
+                "type": exhausted_status,
+                "message": error,
+                "traceback": [],
+            }
             if state.attempts > max_retries:
                 give_up(state, exhausted_status, error)
                 return
@@ -841,23 +889,37 @@ def _execute_pool(
                     except cf.CancelledError:
                         queue.append(state)
                         continue
+                    except StoreCorruptionError:
+                        # Never a per-unit failure: a damaged store
+                        # would silently poison every retry, so stop
+                        # the run and name the entry.
+                        _shutdown_pool(pool)
+                        raise
                     except Exception as exc:
+                        # Pool-layer infrastructure errors (pickling,
+                        # transport) — the driver's own exceptions come
+                        # back as data from _run_unit.
                         state.attempts += 1
                         charge_failure(
-                            state, f"{type(exc).__name__}: {exc}", "failed"
+                            state,
+                            f"{type(exc).__name__}: {exc}",
+                            "failed",
+                            _failure_record(exc, state.key),
                         )
                         continue
                     state.attempts += 1
                     state.suspect = False  # completed: exonerated
-                    _, _, rows, error = outcome
-                    if error is None:
+                    _, _, rows, failure = outcome
+                    if failure is None:
                         state.rows = rows
                         state.status = (
                             "computed" if state.attempts == 1 else "retried"
                         )
                         finalize(state)
                     else:
-                        charge_failure(state, error, "failed")
+                        charge_failure(
+                            state, _summarize(failure), "failed", failure
+                        )
 
                 # Timeout accounting: the clock starts when a unit is
                 # first *observed* executing (not when it was queued
@@ -1003,6 +1065,9 @@ def run_parallel(
 
     Raises:
         KeyError: for an unknown driver name.
+        StoreCorruptionError: a cache entry for a planned unit exists
+            but is damaged (strict read — corruption aborts the run
+            rather than being silently recomputed and re-journaled).
     """
     driver_kwargs = driver_kwargs or {}
     for name in drivers:
@@ -1054,7 +1119,11 @@ def run_parallel(
         for state in states:
             if state.status != "pending":
                 continue
-            rows = store.get(state.fingerprint)
+            # Strict: a damaged entry raises StoreCorruptionError
+            # (ValueError) instead of being silently recomputed — the
+            # journal this run writes must not paper over a rotting
+            # store.
+            rows = store.get(state.fingerprint, strict=True)
             if rows is not None:
                 state.rows = rows
                 state.status = "cached"
@@ -1077,6 +1146,7 @@ def run_parallel(
                     rows=state.rows,
                     error=state.error,
                     attempts=max(state.attempts, 1),
+                    failure=state.failure,
                 )
             )
         if store is not None and state.status in ("computed", "retried"):
@@ -1130,11 +1200,14 @@ def run_parallel(
     for state in states:
         statuses[state.key] = state.status
         if state.status in ("failed", "timed_out"):
+            failure = state.failure or {}
             errors.append(
                 {
                     "driver": state.driver,
                     "benchmark": state.bench,
                     "error": state.error or state.status,
+                    "type": str(failure.get("type", state.status)),
+                    "attempts": str(max(state.attempts, 1)),
                 }
             )
             continue

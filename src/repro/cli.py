@@ -24,6 +24,10 @@ Subcommands mirror the library's workflow:
   curves (make-span vs fault rate per scheme; see
   ``docs/ROBUSTNESS.md``), and ``--faults SPEC`` on
   ``evaluate``/``diagnose``/``study`` runs those commands degraded;
+* ``serve`` — the multi-tenant online decision service: ``run``
+  starts the asyncio JSONL server, ``replay`` load-drives it with
+  interleaved DaCapo traces and reports decisions/sec + p99 latency
+  (deterministic decision logs; see ``docs/SERVICE.md``);
 * ``walkthrough`` — the Figures 1–2 worked example.
 
 Malformed inputs (bad trace/schedule files, bad fault specs) exit with
@@ -398,6 +402,109 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write rows and curves as deterministic JSON",
     )
+
+    serve = sub.add_parser(
+        "serve", help="the multi-tenant online decision service"
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+    srun = serve_sub.add_parser(
+        "run", help="start the asyncio JSONL decision server"
+    )
+    srun.add_argument("--host", default="127.0.0.1")
+    srun.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default: 0 = kernel-assigned, printed on start)",
+    )
+    srep = serve_sub.add_parser(
+        "replay",
+        help="load-drive the service with interleaved DaCapo traces",
+    )
+    srep.add_argument(
+        "--tenants", type=int, default=8,
+        help="concurrent tenants (each replays its own DaCapo trace)",
+    )
+    srep.add_argument(
+        "--events", type=int, default=1000,
+        help="total call events across all tenants",
+    )
+    srep.add_argument("--scale", type=float, default=0.02)
+    srep.add_argument(
+        "--seed", type=int, default=0,
+        help="stream seed: same seed, same event interleave, same "
+        "decision log — bitwise",
+    )
+    srep.add_argument(
+        "--mode", choices=["inproc", "socket"], default="inproc",
+        help="'inproc' replays straight through the engine; 'socket' "
+        "drives a real loopback server (same decision log, bitwise)",
+    )
+    srep.add_argument(
+        "--events-file", default=None, metavar="PATH",
+        help="replay this JSONL event file instead of generating one",
+    )
+    srep.add_argument(
+        "--save-events", default=None, metavar="PATH",
+        help="also write the generated event stream as JSONL",
+    )
+    srep.add_argument(
+        "--decisions-out", default=None, metavar="PATH",
+        help="write the decision log (canonical JSONL, sorted by seq); "
+        "doubles as the resume journal",
+    )
+    srep.add_argument(
+        "--resume", action="store_true",
+        help="keep decisions already journaled in --decisions-out and "
+        "emit only the missing ones (no duplicates; final file bitwise "
+        "equals an uninterrupted run)",
+    )
+    srep.add_argument(
+        "--window", type=int, default=32,
+        help="socket mode: pipelined in-flight requests per tenant",
+    )
+    srep.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the replay report (rates, latency stats) as JSON",
+    )
+    for sp in (srun, srep):
+        sp.add_argument(
+            "--faults", default=None, metavar="SPEC",
+            help="fault spec (key=value,...) injected on the serving "
+            "path; zero-rate specs are bitwise equal to no spec",
+        )
+        sp.add_argument(
+            "--shards", type=int, default=8,
+            help="tenant-map shards (a scaling knob; never changes a "
+            "decision)",
+        )
+        sp.add_argument(
+            "--optimism", type=float, default=1.0,
+            help="policy knob: predicted future calls per observed call",
+        )
+        sp.add_argument(
+            "--max-functions", type=int, default=4096,
+            help="per-tenant hotness budget (LRU-evicted beyond it)",
+        )
+        sp.add_argument(
+            "--max-tenants", type=int, default=1024,
+            help="per-shard tenant budget (LRU-evicted beyond it)",
+        )
+        sp.add_argument(
+            "--no-decision-cache", action="store_true",
+            help="disable the shared cross-tenant decision cache",
+        )
+        sp.add_argument(
+            "--batch-max", type=int, default=64,
+            help="decision requests served per batched round",
+        )
+        sp.add_argument(
+            "--queue-limit", type=int, default=1024,
+            help="bounded request queue (backpressure bound)",
+        )
+        sp.add_argument(
+            "--admission-limit", type=int, default=4096,
+            help="queued requests beyond which new ones are refused "
+            "with a retryable 'overloaded' error",
+        )
 
     cache = sub.add_parser(
         "cache", help="inspect/maintain a result cache directory"
@@ -913,6 +1020,143 @@ def _cmd_walkthrough(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_service_engine(args: argparse.Namespace):
+    """One engine + metrics registry from the shared ``serve`` knobs."""
+    from .observability import MetricsRegistry
+    from .service import DecisionCache, DecisionEngine, ServicePolicy
+
+    metrics = MetricsRegistry()
+    policy = ServicePolicy(
+        optimism=args.optimism,
+        max_functions=args.max_functions,
+        max_tenants=args.max_tenants,
+    )
+    cache = None if args.no_decision_cache else DecisionCache()
+    engine = DecisionEngine(
+        policy=policy,
+        shards=args.shards,
+        faults=args.faults,
+        cache=cache,
+        metrics=metrics,
+    )
+    return engine, metrics
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServerConfig
+
+    config = ServerConfig(
+        host=getattr(args, "host", "127.0.0.1"),
+        port=getattr(args, "port", 0),
+        batch_max=args.batch_max,
+        queue_limit=args.queue_limit,
+        admission_limit=args.admission_limit,
+    )
+    if args.serve_command == "run":
+        return _serve_run(args, config)
+    return _serve_replay(args, config)
+
+
+def _serve_run(args: argparse.Namespace, config) -> int:
+    import asyncio
+
+    from .service import DecisionServer
+
+    engine, _metrics = _make_service_engine(args)
+
+    async def _run() -> None:
+        server = DecisionServer(engine, config)
+        await server.start()
+        print(
+            f"repro serve: listening on {config.host}:{server.port} "
+            f"(JSONL; send {{\"op\": \"shutdown\"}} to stop)",
+            flush=True,
+        )
+        await server.serve_until_stopped()
+        summary = engine.summary()
+        print(
+            f"repro serve: stopped after {summary['events']} events, "
+            f"{summary['decisions']} decisions "
+            f"({server.rejected} rejected)"
+        )
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted", file=sys.stderr)
+        return 130
+    return 0
+
+
+def _serve_replay(args: argparse.Namespace, config) -> int:
+    import json
+
+    from .service import generate_events, load_events, run_replay
+
+    engine, _metrics = _make_service_engine(args)
+    if args.events_file is not None:
+        events = load_events(args.events_file)
+        source = args.events_file
+    else:
+        events = generate_events(
+            tenants=args.tenants,
+            events=args.events,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        source = (
+            f"generated (tenants={args.tenants} events={args.events} "
+            f"scale={args.scale} seed={args.seed})"
+        )
+    if args.save_events is not None:
+        from .service import write_events
+
+        write_events(events, args.save_events)
+        print(f"wrote {args.save_events}")
+    report = run_replay(
+        events,
+        engine,
+        decisions_out=args.decisions_out,
+        mode=args.mode,
+        resume=args.resume,
+        window=args.window,
+        config=config,
+    )
+    faults_note = f" faults={args.faults}" if args.faults else ""
+    print(f"events: {source}{faults_note}")
+    print(
+        f"replayed {report.events} events from {report.tenants} tenants "
+        f"in {report.wall_s:.3f} s ({args.mode})"
+    )
+    resumed = f" ({report.skipped} resumed from journal)" if report.skipped else ""
+    print(
+        f"decisions: {report.decisions}{resumed}  "
+        f"rate: {report.decisions_per_sec:,.0f} decisions/sec"
+    )
+    print(
+        f"latency: p50 {report.p50_ms:.3f} ms, p99 {report.p99_ms:.3f} ms "
+        f"(median {report.latency.median_s * 1e3:.3f} ms over "
+        f"{len(events)} events, via repro.perf)"
+    )
+    summary = report.summary
+    if "cache_hits" in summary:
+        print(
+            f"decision cache: {summary['cache_hits']} hits / "
+            f"{summary['cache_misses']} misses"
+        )
+    faults_summary = summary.get("faults")
+    if faults_summary:
+        print(f"faults: {faults_summary}")
+    if args.decisions_out is not None:
+        print(f"wrote {args.decisions_out}")
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -928,6 +1172,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cache": _cmd_cache,
         "bench": _cmd_bench,
         "import-trace": _cmd_import_trace,
+        "serve": _cmd_serve,
         "walkthrough": _cmd_walkthrough,
     }
     try:

@@ -20,7 +20,9 @@ shows how the IAR advantage degrades.
 
 from __future__ import annotations
 
+import math
 import random
+import sys
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -42,13 +44,46 @@ __all__ = [
 def _monotone_fix(
     compile_times: List[float], exec_times: List[float]
 ) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
-    """Re-impose Definition 1's monotonicity after perturbation."""
+    """Re-impose Definition 1's monotonicity after perturbation.
+
+    The forward clamp keeps equal adjacent entries ordered no matter
+    which way the noise pushed them: compile times become the running
+    maximum and exec times the running minimum of the perturbed values,
+    so a tie can widen but never reorder.
+    """
     for j in range(1, len(compile_times)):
         if compile_times[j] < compile_times[j - 1]:
             compile_times[j] = compile_times[j - 1]
         if exec_times[j] > exec_times[j - 1]:
             exec_times[j] = exec_times[j - 1]
     return tuple(compile_times), tuple(exec_times)
+
+
+def _noise_factor(rng: random.Random, sigma: float) -> float:
+    """One multiplicative noise draw, clamped to the finite range.
+
+    ``rng.lognormvariate`` raises :class:`OverflowError` once the
+    underlying normal draw exceeds ~709 (``exp`` overflows); at the
+    extreme sigmas the noise-tolerance sweeps probe, that is a real
+    code path.  The draw is made first so the rng stream position is
+    identical whether or not the clamp engages: every non-overflowing
+    seed keeps its exact historical output.
+    """
+    try:
+        return rng.lognormvariate(0.0, sigma)
+    except OverflowError:
+        return sys.float_info.max
+
+
+def _finite(value: float) -> float:
+    """Clamp an overflowed product back to the largest finite float.
+
+    A finite time times a finite factor can still overflow to ``inf``
+    (e.g. ``1e300 * 1e10``); :class:`FunctionProfile` rejects
+    non-finite entries, so the product is saturated instead.  Inputs
+    are non-negative and factors finite, so ``nan`` cannot arise.
+    """
+    return value if math.isfinite(value) else sys.float_info.max
 
 
 def perturb_times(
@@ -81,23 +116,25 @@ def perturb_times(
     compile_sigma = rel_error / 2.0
     exec_sigma = rel_error
     if correlated:
-        compile_scale = rng.lognormvariate(0.0, compile_sigma)
-        exec_scale = rng.lognormvariate(0.0, exec_sigma)
+        compile_scale = _noise_factor(rng, compile_sigma)
+        exec_scale = _noise_factor(rng, exec_sigma)
         jitter = rel_error / 4.0
         compile_times = [
-            c * compile_scale * rng.lognormvariate(0.0, jitter)
+            _finite(c * _finite(compile_scale * _noise_factor(rng, jitter)))
             for c in profile.compile_times
         ]
         exec_times = [
-            e * exec_scale * rng.lognormvariate(0.0, jitter)
+            _finite(e * _finite(exec_scale * _noise_factor(rng, jitter)))
             for e in profile.exec_times
         ]
     else:
         compile_times = [
-            c * rng.lognormvariate(0.0, compile_sigma) for c in profile.compile_times
+            _finite(c * _noise_factor(rng, compile_sigma))
+            for c in profile.compile_times
         ]
         exec_times = [
-            e * rng.lognormvariate(0.0, exec_sigma) for e in profile.exec_times
+            _finite(e * _noise_factor(rng, exec_sigma))
+            for e in profile.exec_times
         ]
     c_fixed, e_fixed = _monotone_fix(compile_times, exec_times)
     return FunctionProfile(

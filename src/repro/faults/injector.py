@@ -179,6 +179,25 @@ class FaultInjector:
         if self.metrics is not None:
             self.metrics.counter(f"faults.{key}").inc()
 
+    def replay_tally(self, delta: Dict[str, int], wasted: float = 0.0) -> None:
+        """Re-apply a recorded tally delta (and wasted compile time).
+
+        The service's decision cache memoizes a degradation chain's
+        *outcome* together with the tallies the chain produced; serving
+        a hit replays them here so fault summaries and ``faults.*``
+        metrics are bitwise identical whether the chain ran or the
+        cache answered.
+        """
+        for key, amount in delta.items():
+            if key not in self.tally:
+                raise KeyError(f"unknown fault tally {key!r}")
+            if amount:
+                self.tally[key] += amount
+                if self.metrics is not None:
+                    self.metrics.counter(f"faults.{key}").inc(amount)
+        if wasted:
+            self.wasted_compile_time += wasted
+
     def summary(self) -> Dict[str, object]:
         """Plain-data tally: the integer counts plus wasted compile
         time, suitable for JSON output and test assertions."""

@@ -426,3 +426,36 @@ def _bench_faults_sweep(scale: float):
         assert len(rows) == 2
 
     return fn
+
+
+@register(
+    "service_decisions",
+    description=(
+        "multi-tenant decision service: interleaved DaCapo call events "
+        "through a fault-injected, cache-backed engine"
+    ),
+)
+def _bench_service_decisions(scale: float):
+    from ..service import DecisionCache, DecisionEngine, run_replay
+    from ..service.driver import generate_events
+
+    # The event stream is built once; each measured run replays it
+    # through a fresh engine (decisions + tallies are deterministic, so
+    # the counters are identical across repeats by construction).
+    events = generate_events(
+        tenants=8,
+        events=max(200, int(100_000 * scale)),
+        scale=max(0.002, scale),
+        seed=0,
+    )
+
+    def fn(metrics: MetricsRegistry) -> None:
+        engine = DecisionEngine(
+            faults="compile_fail=0.1,seed=3",
+            cache=DecisionCache(),
+            metrics=metrics,
+        )
+        report = run_replay(events, engine, mode="inproc")
+        assert report.decisions > 0
+
+    return fn

@@ -1,0 +1,66 @@
+"""Scheduler-as-a-service: the multi-tenant online decision server.
+
+The batch engines answer "what is the best schedule" after the fact;
+this package answers "compile or not, and at which level" *online*,
+per tenant, with bounded latency — the ROADMAP's heavy-traffic story.
+
+* :mod:`repro.service.state` — the deterministic decision core:
+  sharded per-tenant hotness state with LRU eviction, the Jikes-style
+  promotion test, fault-injected graceful degradation (mirroring the
+  reactive runtime's chain bit for bit), and the shared cross-tenant
+  decision cache keyed by content fingerprints;
+* :mod:`repro.service.protocol` — canonical JSONL over asyncio
+  streams;
+* :mod:`repro.service.server` — the asyncio server: batched decision
+  rounds, bounded-queue backpressure, admission control, graceful
+  shutdown;
+* :mod:`repro.service.driver` — the load driver and deterministic
+  replay behind ``repro serve replay`` (interleaved DaCapo traces,
+  decisions/sec + latency percentiles through :mod:`repro.perf`,
+  journal-based kill-and-restart resume).
+
+Determinism contract: a fixed seed + event file yields a bitwise
+identical decision log across runs, transports (in-process vs socket),
+batch sizes, and restarts — including under a non-null fault spec.
+See ``docs/SERVICE.md``.
+"""
+
+from .driver import (
+    ReplayReport,
+    generate_events,
+    load_events,
+    replay_inproc,
+    replay_socket,
+    run_replay,
+    write_events,
+)
+from .protocol import PROTOCOL_VERSION, ProtocolError, decode, encode
+from .server import DecisionServer, ServerConfig
+from .state import (
+    DecisionCache,
+    DecisionEngine,
+    ServicePolicy,
+    TenantState,
+    promotion_level,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode",
+    "encode",
+    "DecisionCache",
+    "DecisionEngine",
+    "ServicePolicy",
+    "TenantState",
+    "promotion_level",
+    "DecisionServer",
+    "ServerConfig",
+    "ReplayReport",
+    "generate_events",
+    "load_events",
+    "replay_inproc",
+    "replay_socket",
+    "run_replay",
+    "write_events",
+]

@@ -23,7 +23,7 @@ from .fingerprint import (
     fingerprint_instance,
     fingerprint_unit,
 )
-from .cache import ResultStore, StoreStats
+from .cache import ResultStore, StoreCorruptionError, StoreStats
 from .runstate import RunState, UnitRecord, load_runstate
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "fingerprint_instance",
     "fingerprint_unit",
     "ResultStore",
+    "StoreCorruptionError",
     "StoreStats",
     "RunState",
     "UnitRecord",

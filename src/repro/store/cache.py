@@ -24,8 +24,11 @@ Writes are atomic: the entry is serialized to a ``*.tmp`` file in the
 final directory and ``os.replace``d into place, so readers never see a
 torn file and a crash mid-write leaves only a stray ``*.tmp`` (removed
 by :meth:`ResultStore.gc`).  Corrupt or truncated entries read as
-misses, never as errors — the cache must only ever be able to save
-work, not break a run.
+misses by default, never as errors — the cache must only ever be able
+to save work, not break a run.  Callers that would rather surface the
+damage than silently recompute (the experiment runner, whose journal
+must stay trustworthy) pass ``strict=True`` and get a
+:class:`StoreCorruptionError` naming the entry instead.
 """
 
 from __future__ import annotations
@@ -36,9 +39,17 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-__all__ = ["ResultStore", "StoreStats"]
+__all__ = ["ResultStore", "StoreStats", "StoreCorruptionError"]
 
 _ENTRY_VERSION = 1
+
+
+class StoreCorruptionError(ValueError):
+    """A store entry exists but cannot be trusted (strict reads only).
+
+    Subclasses :class:`ValueError` so the CLI's error taxonomy turns it
+    into a one-line ``repro: error: ...`` diagnostic with exit code 2.
+    """
 
 
 class StoreStats:
@@ -92,23 +103,37 @@ class ResultStore:
     # ------------------------------------------------------------------
     # Read / write
     # ------------------------------------------------------------------
-    def get(self, fingerprint: str) -> Optional[List[Dict[str, object]]]:
+    def get(
+        self, fingerprint: str, strict: bool = False
+    ) -> Optional[List[Dict[str, object]]]:
         """The cached rows for ``fingerprint``, or ``None`` on a miss.
 
-        Torn, corrupt, or version-mismatched entries count as misses.
+        Torn, corrupt, or version-mismatched entries count as misses —
+        unless ``strict`` is set, in which case an *existing* but
+        damaged entry raises :class:`StoreCorruptionError` (a missing
+        or merely version-skewed entry is still a plain miss; only
+        structural damage is escalated).
         """
         path = self.path_for(fingerprint)
         try:
             doc = json.loads(path.read_text())
             if doc.get("version") != _ENTRY_VERSION:
-                raise ValueError(f"entry version {doc.get('version')!r}")
+                # A version skew is a legitimate miss even in strict
+                # mode: old entries are stale, not damaged.
+                self.misses += 1
+                return None
             if doc.get("fingerprint") != fingerprint:
                 raise ValueError("fingerprint mismatch inside entry")
             rows = doc["rows"]
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (ValueError, KeyError, OSError):
+        except (ValueError, KeyError, OSError) as exc:
+            if strict:
+                raise StoreCorruptionError(
+                    f"corrupt store entry {path}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
             # A damaged entry is dead weight: drop it so gc/stats stay
             # truthful and the next put rewrites it cleanly.
             try:

@@ -33,9 +33,18 @@ _RESUMABLE = frozenset({"cached", "computed", "retried"})
 
 
 class UnitRecord:
-    """One journaled unit outcome."""
+    """One journaled unit outcome.
 
-    __slots__ = ("key", "fingerprint", "status", "rows", "error", "attempts")
+    ``error`` is the one-line human summary; ``failure`` (when the unit
+    failed) is the structured record behind it — exception type, unit
+    key, message, and a short traceback tail — so a journal can be
+    mined for failure patterns without parsing strings.
+    """
+
+    __slots__ = (
+        "key", "fingerprint", "status", "rows", "error", "attempts",
+        "failure",
+    )
 
     def __init__(
         self,
@@ -45,6 +54,7 @@ class UnitRecord:
         rows: Optional[List[Dict[str, object]]] = None,
         error: Optional[str] = None,
         attempts: int = 1,
+        failure: Optional[Dict[str, object]] = None,
     ) -> None:
         self.key = key
         self.fingerprint = fingerprint
@@ -52,6 +62,7 @@ class UnitRecord:
         self.rows = rows
         self.error = error
         self.attempts = attempts
+        self.failure = failure
 
     @property
     def resumable(self) -> bool:
@@ -66,6 +77,7 @@ class UnitRecord:
             "rows": self.rows,
             "error": self.error,
             "attempts": self.attempts,
+            "failure": self.failure,
         }
 
 
@@ -144,5 +156,6 @@ def load_runstate(path: Union[str, Path]) -> Dict[str, UnitRecord]:
             rows=doc.get("rows"),
             error=doc.get("error"),
             attempts=int(doc.get("attempts", 1)),
+            failure=doc.get("failure"),
         )
     return records

@@ -1,8 +1,10 @@
 """Tests for the online/noisy-estimate extensions (Section 8)."""
 
+import math
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import (
     FunctionProfile,
@@ -118,3 +120,103 @@ class TestOnlineIAR:
         # the true sequence stays legal (no exception = pass).
         result = online_iar_makespan(small_synthetic, 0.0, 0.6, seed=5)
         assert result.makespan > 0
+
+
+class TestPerturbTimesExtremes:
+    """Regression pins for the overflow/non-finite perturbation bugs.
+
+    Before the fix, two failure classes escaped ``_monotone_fix``:
+    ``rng.lognormvariate`` raising ``OverflowError`` at large sigma,
+    and finite-time x huge-factor products overflowing to ``inf``
+    (which compares monotone but fails ``FunctionProfile``'s
+    finiteness validation).  Both now saturate at the largest finite
+    float, so perturbation always yields a valid profile.
+    """
+
+    _EXTREME = FunctionProfile(
+        "x", (1e-300, 1e-300, 1e300), (1e300, 1e-300, 1e-300)
+    )
+
+    def _assert_valid(self, noisy):
+        for j in range(noisy.num_levels):
+            assert math.isfinite(noisy.compile_times[j])
+            assert math.isfinite(noisy.exec_times[j])
+        for j in range(1, noisy.num_levels):
+            assert noisy.compile_times[j] >= noisy.compile_times[j - 1]
+            assert noisy.exec_times[j] <= noisy.exec_times[j - 1]
+
+    def test_product_overflow_saturates(self):
+        # seed 0 / rel_error 100 used to raise ModelError("exec time
+        # inf is not finite") via an overflowed product.
+        for corr in (False, True):
+            noisy = perturb_times(
+                self._EXTREME, 100.0, random.Random(0), correlated=corr
+            )
+            self._assert_valid(noisy)
+
+    def test_lognormvariate_overflow_saturates(self):
+        # seed 0 / rel_error 700 used to raise OverflowError("math
+        # range error") inside rng.lognormvariate itself.
+        noisy = perturb_times(self._EXTREME, 700.0, random.Random(0))
+        self._assert_valid(noisy)
+        moderate = FunctionProfile("g", (1.0, 10.0), (9.0, 1.0))
+        self._assert_valid(perturb_times(moderate, 700.0, random.Random(1)))
+
+    def test_equal_adjacent_levels_never_reorder(self):
+        # Perturbing a tie can widen it but must not reorder it: the
+        # forward clamp turns compile times into a running max and
+        # exec times into a running min.
+        tied = FunctionProfile("t", (5.0, 5.0, 5.0), (2.0, 2.0, 2.0))
+        for seed in range(50):
+            self._assert_valid(perturb_times(tied, 1.0, random.Random(seed)))
+
+    def test_moderate_magnitudes_bitwise_unchanged(self):
+        # The clamp only engages on overflow, and the draw happens
+        # before the clamp, so every non-overflowing seed keeps its
+        # exact historical output stream.
+        prof = FunctionProfile("f", (1.0, 10.0, 30.0), (9.0, 3.0, 1.0))
+        noisy = perturb_times(prof, 1.0, random.Random(5))
+        raw = random.Random(5)
+        expected_c = [c * raw.lognormvariate(0.0, 0.5) for c in prof.compile_times]
+        expected_e = [e * raw.lognormvariate(0.0, 1.0) for e in prof.exec_times]
+        for j in range(1, 3):
+            expected_c[j] = max(expected_c[j], expected_c[j - 1])
+            expected_e[j] = min(expected_e[j], expected_e[j - 1])
+        assert noisy.compile_times == tuple(expected_c)
+        assert noisy.exec_times == tuple(expected_e)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    times=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e300, allow_nan=False),
+            st.floats(min_value=1e-300, max_value=1e300, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    rel_error=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    correlated=st.booleans(),
+)
+def test_perturbed_tables_always_monotone_and_finite(
+    times, rel_error, seed, correlated
+):
+    """Property: perturbation always returns a valid profile — compile
+    times finite and non-decreasing, exec times finite and
+    non-increasing — for any input profile, error magnitude, and seed
+    (the FunctionProfile constructor re-validates both invariants)."""
+    compile_times = tuple(sorted(c for c, _ in times))
+    exec_times = tuple(sorted((e for _, e in times), reverse=True))
+    profile = FunctionProfile("p", compile_times, exec_times)
+    noisy = perturb_times(
+        profile, rel_error, random.Random(seed), correlated=correlated
+    )
+    assert noisy.num_levels == profile.num_levels
+    for j in range(noisy.num_levels):
+        assert math.isfinite(noisy.compile_times[j])
+        assert math.isfinite(noisy.exec_times[j])
+    for j in range(1, noisy.num_levels):
+        assert noisy.compile_times[j] >= noisy.compile_times[j - 1]
+        assert noisy.exec_times[j] <= noisy.exec_times[j - 1]

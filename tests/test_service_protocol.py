@@ -1,0 +1,85 @@
+"""The JSONL wire protocol: canonical encoding and strict validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import PROTOCOL_VERSION, ProtocolError, decode, encode
+from repro.service.protocol import error_response, validate_event
+
+
+def test_protocol_version_is_pinned():
+    assert PROTOCOL_VERSION == 1
+
+
+def test_encode_is_canonical_and_newline_terminated():
+    line = encode({"b": 1, "a": 2})
+    assert line == b'{"a":2,"b":1}\n'
+    # key order in the input never shows in the output
+    assert encode({"a": 2, "b": 1}) == line
+
+
+def test_roundtrip_call_event():
+    event = {"op": "call", "tenant": "t0", "function": "f", "seq": 7}
+    assert decode(encode(event)) == event
+
+
+def test_decode_rejects_non_json():
+    with pytest.raises(ProtocolError, match="not valid JSON"):
+        decode(b"nonsense\n")
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(ProtocolError, match="expected a JSON object"):
+        decode(b"[1,2,3]\n")
+
+
+def test_decode_rejects_unknown_op():
+    with pytest.raises(ProtocolError, match="unknown op 'frobnicate'"):
+        decode(encode({"op": "frobnicate"}))
+
+
+def test_decode_rejects_missing_fields():
+    with pytest.raises(ProtocolError, match="missing field 'function'"):
+        decode(encode({"op": "call", "tenant": "t0"}))
+
+
+def test_profile_times_must_be_non_empty_lists():
+    bad = {
+        "op": "profile",
+        "tenant": "t0",
+        "function": "f",
+        "compile_times": [],
+        "exec_times": [1.0],
+    }
+    with pytest.raises(ProtocolError, match="non-empty list"):
+        validate_event(bad)
+
+
+def test_protocol_error_is_a_value_error():
+    # The CLI error taxonomy (exit 2) rests on this.
+    assert issubclass(ProtocolError, ValueError)
+
+
+def test_error_response_shapes():
+    assert error_response("boom") == {"ok": False, "error": "boom"}
+    overloaded = error_response("overloaded", retry=True, seq=3)
+    assert overloaded == {
+        "ok": False,
+        "error": "overloaded",
+        "retry": True,
+        "seq": 3,
+    }
+    # seq 0 must not be dropped by truthiness
+    assert error_response("x", seq=0)["seq"] == 0
+
+
+def test_encoded_errors_parse_back():
+    line = encode(error_response("overloaded", retry=True))
+    assert json.loads(line.decode()) == {
+        "error": "overloaded",
+        "ok": False,
+        "retry": True,
+    }
