@@ -28,6 +28,14 @@ Subcommands mirror the library's workflow:
   starts the asyncio JSONL server, ``replay`` load-drives it with
   interleaved DaCapo traces and reports decisions/sec + p99 latency
   (deterministic decision logs; see ``docs/SERVICE.md``);
+* ``instances`` — the versioned on-disk instance format:
+  ``export`` writes a trace/benchmark as a canonical bundle,
+  ``import`` builds bundles from external sources (V8 ``--trace-opt``
+  logs, JVM ``-XX:+PrintCompilation`` logs, SCC due-date instance
+  sets), ``validate`` fully checks bundles (format version, schema,
+  content fingerprint), ``list`` summarizes a bundle directory; the
+  ``--instance`` flag on ``evaluate``/``diagnose``/``study``/``faults
+  sweep`` runs those commands on a bundle (see ``docs/INSTANCES.md``);
 * ``walkthrough`` — the Figures 1–2 worked example.
 
 Malformed inputs (bad trace/schedule files, bad fault specs) exit with
@@ -160,9 +168,27 @@ def build_parser() -> argparse.ArgumentParser:
     sch.add_argument("-o", "--output", required=True)
 
     ev = sub.add_parser("evaluate", help="simulate a schedule on a trace")
-    ev.add_argument("trace")
+    ev.add_argument("trace", nargs="?", default=None)
     ev.add_argument("schedule")
-    ev.add_argument("--threads", type=int, default=1)
+    ev.add_argument(
+        "--instance",
+        default=None,
+        metavar="BUNDLE",
+        help=(
+            "evaluate against an instance bundle directory instead of a "
+            "trace file (prints due-date objectives when the bundle "
+            "carries due dates)"
+        ),
+    )
+    ev.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help=(
+            "compile threads (default: the bundle's machine environment "
+            "with --instance, else 1)"
+        ),
+    )
     _add_engine_arg(ev)
     ev.add_argument(
         "--faults",
@@ -175,8 +201,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     diag = sub.add_parser("diagnose", help="decompose a schedule's gap")
-    diag.add_argument("trace")
+    diag.add_argument("trace", nargs="?", default=None)
     diag.add_argument("schedule")
+    diag.add_argument(
+        "--instance",
+        default=None,
+        metavar="BUNDLE",
+        help="diagnose against an instance bundle directory instead of a "
+        "trace file",
+    )
     diag.add_argument("--top", type=int, default=10)
     _add_engine_arg(diag)
     diag.add_argument(
@@ -222,6 +255,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     study = sub.add_parser("study", help="regenerate the paper's evaluation")
     study.add_argument("--scale", type=float, default=0.01)
+    study.add_argument(
+        "--instance",
+        default=None,
+        metavar="BUNDLE",
+        help=(
+            "run the figure/table drivers on this instance bundle instead "
+            "of the DaCapo suite (the preset-only table1/astar sections "
+            "are skipped)"
+        ),
+    )
     _add_engine_arg(study)
     study.add_argument(
         "--figure",
@@ -359,6 +402,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="degradation curves: normalized make-span vs fault rate",
     )
     fsw.add_argument("--scale", type=float, default=0.01)
+    fsw.add_argument(
+        "--instance",
+        default=None,
+        metavar="BUNDLE",
+        help="sweep this instance bundle instead of the DaCapo suite",
+    )
     fsw.add_argument(
         "--rates",
         default="0,0.05,0.1,0.2,0.4",
@@ -531,6 +580,63 @@ def build_parser() -> argparse.ArgumentParser:
     imp.add_argument("--name", default="imported")
     imp.add_argument("-o", "--output", required=True)
 
+    inst = sub.add_parser(
+        "instances", help="the versioned on-disk instance format"
+    )
+    inst_sub = inst.add_subparsers(dest="instances_command", required=True)
+    iexp = inst_sub.add_parser(
+        "export",
+        help="write a trace/benchmark/bundle as a canonical bundle "
+        "(byte-identical for identical content)",
+    )
+    iexp.add_argument(
+        "source",
+        nargs="?",
+        default=None,
+        help="a trace JSON file or an existing bundle to re-export",
+    )
+    iexp.add_argument(
+        "--benchmark", choices=sorted(dacapo.BENCHMARKS), default=None
+    )
+    iexp.add_argument("--scale", type=float, default=0.01)
+    iexp.add_argument("--seed", type=int, default=None, help=_SEED_HELP)
+    iexp.add_argument(
+        "--name", default=None, help="rename the exported instance"
+    )
+    iexp.add_argument("-o", "--output", required=True, metavar="DIR")
+    iimp = inst_sub.add_parser(
+        "import", help="build a bundle from an external workload source"
+    )
+    iimp.add_argument(
+        "source", help="log file (v8/jvm) or SCC prefix/directory"
+    )
+    iimp.add_argument(
+        "--format",
+        dest="fmt",
+        required=True,
+        choices=["v8", "jvm", "scc"],
+        help="source kind: V8 --trace-opt log, JVM -XX:+PrintCompilation "
+        "log, or an SCC due-date instance set",
+    )
+    iimp.add_argument("--name", default=None, help="instance label")
+    iimp.add_argument("-o", "--output", required=True, metavar="DIR")
+    ival = inst_sub.add_parser(
+        "validate",
+        help="fully validate bundles (schema, monotone costs, counts, "
+        "content fingerprint); exits 2 on the first problem",
+    )
+    ival.add_argument("paths", nargs="+", metavar="BUNDLE")
+    ilist = inst_sub.add_parser(
+        "list", help="summarize every bundle under a directory"
+    )
+    ilist.add_argument("root")
+    ilist.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the summaries as JSON to PATH ('-' = stdout)",
+    )
+
     sub.add_parser("walkthrough", help="the Figures 1-2 worked example")
     return parser
 
@@ -565,12 +671,36 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace_or_bundle(args: argparse.Namespace, command: str):
+    """Resolve the TRACE positional vs ``--instance`` into
+    ``(instance, bundle-or-None)``; exactly one source must be given."""
+    if (args.trace is None) == (args.instance is None):
+        raise ValueError(
+            f"{command}: give either a TRACE file or --instance BUNDLE "
+            f"(exactly one)"
+        )
+    if args.instance is not None:
+        from .instances import read_bundle
+
+        bundle = read_bundle(args.instance)
+        return bundle.instance, bundle
+    return traces.load(args.trace), None
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     _apply_engine(args)
-    instance = traces.load(args.trace)
+    instance, bundle = _load_trace_or_bundle(args, "evaluate")
     schedule = traces.load_schedule(args.schedule, instance=instance)
+    threads = args.threads
+    if threads is None:
+        threads = bundle.compile_threads if bundle is not None else 1
+    due = bundle.due_dates if bundle is not None else None
     result = simulate(
-        instance, schedule, compile_threads=args.threads, engine=args.engine
+        instance,
+        schedule,
+        compile_threads=threads,
+        engine=args.engine,
+        record_timeline=due is not None,
     )
     lb = lower_bound(instance)
     print(f"make-span:        {result.makespan:.1f}")
@@ -579,12 +709,22 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     print(f"bubbles:          {result.total_bubble_time:.1f}")
     print(f"execution:        {result.total_exec_time:.1f}")
     print(f"calls per level:  {dict(sorted(result.calls_at_level.items()))}")
+    if due is not None:
+        from .core import objectives_from_timeline
+
+        obj = objectives_from_timeline(result, due)
+        print()
+        print(f"due-date objectives ({obj.num_jobs} dued functions):")
+        print(f"  max tardiness:       {obj.max_tardiness:.1f}")
+        print(f"  weighted tardiness:  {obj.total_weighted_tardiness:.1f}")
+        print(f"  weighted completion: {obj.weighted_completion:.1f}")
+        print(f"  late functions:      {obj.num_late} of {obj.num_jobs}")
     if args.faults is not None:
         from .faults import simulate_with_faults
 
         faulted, plan = simulate_with_faults(
             instance, schedule, args.faults,
-            compile_threads=args.threads, validate=False,
+            compile_threads=threads, validate=False,
             engine=args.engine,
         )
         print()
@@ -609,7 +749,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     _apply_engine(args)
-    instance = traces.load(args.trace)
+    instance, _bundle = _load_trace_or_bundle(args, "diagnose")
     schedule = traces.load_schedule(args.schedule, instance=instance)
     report = diagnose(instance, schedule, intervals=args.intervals)
     if args.json is not None:
@@ -704,11 +844,24 @@ def _cmd_study(args: argparse.Namespace) -> int:
     jobs = None if args.jobs == 0 else args.jobs
     run = None
     registry = None
-    if wanted in ("table1", "all"):
+    bundle = None
+    if args.instance is not None:
+        from .instances import read_bundle
+
+        bundle = read_bundle(args.instance)
+        if wanted in ("table1", "astar"):
+            raise ValueError(
+                f"study: --figure {wanted} uses the Table 1 presets and "
+                f"cannot run on --instance"
+            )
+    if wanted in ("table1", "all") and bundle is None:
         print(format_table(table1(scale=args.scale), title="Table 1", precision=1))
         print()
     if wanted in _STUDY_DRIVERS or wanted == "all":
-        suite = dacapo.load_suite(scale=args.scale)
+        if bundle is not None:
+            suite = {bundle.name: bundle.instance}
+        else:
+            suite = dacapo.load_suite(scale=args.scale)
         keys = list(_STUDY_DRIVERS) if wanted == "all" else [wanted]
         drivers = [_STUDY_DRIVERS[key][0] for key in keys]
         driver_kwargs: Dict[str, Dict[str, object]] = {}
@@ -773,7 +926,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         warnings = format_errors(run.errors)
         if warnings:
             print(warnings, file=sys.stderr)
-    if wanted in ("astar", "all"):
+    if wanted in ("astar", "all") and bundle is None:
         print(
             format_table(
                 astar_scaling(max_frontier=200_000),
@@ -831,7 +984,13 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     for rate in rates:
         base.scaled(args.dimension, rate)
 
-    suite = dacapo.load_suite(scale=args.scale)
+    if args.instance is not None:
+        from .instances import read_bundle
+
+        bundle = read_bundle(args.instance)
+        suite = {bundle.name: bundle.instance}
+    else:
+        suite = dacapo.load_suite(scale=args.scale)
     spec_str = base.canonical()
     jobs = None if args.jobs == 0 else args.jobs
     registry = MetricsRegistry()
@@ -985,6 +1144,103 @@ def _cmd_import_trace(args: argparse.Namespace) -> int:
         f"wrote {args.output}: {instance.num_calls} calls over "
         f"{instance.num_functions} functions"
     )
+    return 0
+
+
+def _print_bundle_summary(path, summary: Dict[str, object]) -> None:
+    print(
+        f"wrote {path}: {summary['functions']} functions, "
+        f"{summary['calls']} calls, {summary['levels']} levels, "
+        f"{summary['due_dates']} due dates ({summary['source']})"
+    )
+    print(f"fingerprint: {summary['fingerprint']}")
+
+
+def _cmd_instances(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from . import instances as inst
+
+    if args.instances_command == "export":
+        if (args.source is None) == (args.benchmark is None):
+            raise ValueError(
+                "instances export: give either a trace/bundle SOURCE or "
+                "--benchmark (exactly one)"
+            )
+        if args.benchmark is not None:
+            instance = dacapo.load(
+                args.benchmark, scale=args.scale, seed=args.seed
+            )
+            bundle = inst.InstanceBundle(instance=instance, source="synthetic")
+        else:
+            source = args.source
+            from pathlib import Path as _Path
+
+            p = _Path(source)
+            if p.is_dir() or p.name == inst.MANIFEST_FILE:
+                bundle = inst.read_bundle(source)
+            else:
+                bundle = inst.InstanceBundle(
+                    instance=traces.load(source), source="trace"
+                )
+        if args.name is not None:
+            bundle = dataclasses.replace(
+                bundle,
+                instance=dataclasses.replace(bundle.instance, name=args.name),
+            )
+        path = inst.write_bundle(bundle, args.output)
+        _print_bundle_summary(path, bundle.summary())
+        return 0
+
+    if args.instances_command == "import":
+        importer = {
+            "v8": inst.bundle_from_v8_log,
+            "jvm": inst.bundle_from_jvm_log,
+            "scc": inst.bundle_from_scc,
+        }[args.fmt]
+        bundle = importer(args.source, name=args.name)
+        path = inst.write_bundle(bundle, args.output)
+        _print_bundle_summary(path, bundle.summary())
+        return 0
+
+    if args.instances_command == "validate":
+        for path in args.paths:
+            summary = inst.validate_bundle(path).summary()
+            print(
+                f"ok {path}: {summary['name']} "
+                f"({summary['functions']} functions, "
+                f"{summary['calls']} calls, {summary['levels']} levels, "
+                f"{summary['due_dates']} due dates) "
+                f"{summary['fingerprint'][:16]}"
+            )
+        print(f"validated {len(args.paths)} bundle(s)")
+        return 0
+
+    # list
+    rows = inst.list_bundles(args.root)
+    if args.json is not None:
+        import json as _json
+
+        text = _json.dumps(rows, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            print(text, end="")
+            return 0
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.json}")
+    if not rows:
+        print(f"no bundles under {args.root}")
+        return 0
+    for row in rows:
+        if "error" in row:
+            print(f"{row['path']}: ERROR {row['error']}")
+        else:
+            print(
+                f"{row['path']}: {row['name']} source={row['source']} "
+                f"functions={row['functions']} calls={row['calls']} "
+                f"levels={row['levels']} due={row['due_dates']} "
+                f"{str(row['fingerprint'])[:16]}"
+            )
     return 0
 
 
@@ -1172,6 +1428,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cache": _cmd_cache,
         "bench": _cmd_bench,
         "import-trace": _cmd_import_trace,
+        "instances": _cmd_instances,
         "serve": _cmd_serve,
         "walkthrough": _cmd_walkthrough,
     }

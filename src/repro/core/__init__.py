@@ -54,9 +54,13 @@ from .interp_tier import interpreter_prelude, lift_schedule, with_interpreter_ti
 from .localsearch import SearchStats, improve_schedule
 from .makespan import (
     CallTiming,
+    DueDateObjectives,
+    DueDateTable,
     MakespanResult,
     TaskTiming,
+    due_date_objectives,
     iter_calls,
+    objectives_from_timeline,
     simulate,
     simulate_single_core,
 )
@@ -105,6 +109,11 @@ __all__ = [
     "MakespanResult",
     "TaskTiming",
     "CallTiming",
+    # due-date objectives
+    "DueDateTable",
+    "DueDateObjectives",
+    "due_date_objectives",
+    "objectives_from_timeline",
     # engine seam
     "make_simulator",
     "resolve_engine",

@@ -33,7 +33,14 @@ import os
 from typing import Dict, Optional, Sequence, Tuple
 
 from .fastsim import FastSimulator
-from .makespan import MakespanResult, simulate, validate_for_simulation
+from .makespan import (
+    DueDateObjectives,
+    DueDateTable,
+    MakespanResult,
+    objectives_from_timeline,
+    simulate,
+    validate_for_simulation,
+)
 from .model import OCSPInstance
 from .schedule import CompileTask, Schedule
 from .vecsim import VectorSimulator
@@ -164,6 +171,15 @@ class ReferenceSimulator:
             tracer=tracer,
             metrics=self.metrics,
         )
+
+    def due_objectives(
+        self, schedule, due: DueDateTable, validate: bool = False
+    ) -> DueDateObjectives:
+        """Due-date objectives through the oracle (one timeline run)."""
+        result = self.evaluate(
+            schedule, record_timeline=True, validate=validate
+        )
+        return objectives_from_timeline(result, due)
 
     def trace_stats(
         self,

@@ -49,8 +49,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .makespan import (
     CallTiming,
+    DueDateObjectives,
+    DueDateTable,
     MakespanResult,
     TaskTiming,
+    objectives_from_timeline,
     validate_for_simulation,
 )
 from .model import OCSPInstance
@@ -603,6 +606,18 @@ class FastSimulator:
             total_exec_time=result.total_exec_time,
             calls_at_level=result.calls_at_level,
         )
+
+    def due_objectives(
+        self, schedule: TaskSeq, due: DueDateTable, validate: bool = False
+    ) -> DueDateObjectives:
+        """Due-date objectives of one evaluation (timeline-recorded).
+
+        Bitwise identical to the reference engine's
+        :func:`~repro.core.makespan.due_date_objectives` — the timeline
+        is exact and the aggregation order is canonical.
+        """
+        result = self.evaluate(schedule, record_timeline=True, validate=validate)
+        return objectives_from_timeline(result, due)
 
     def _assemble(
         self, prep: _Prep, arrays, record_timeline: bool

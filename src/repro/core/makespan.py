@@ -27,21 +27,26 @@ Model (Sections 3, 4.2, 6.2.3):
 from __future__ import annotations
 
 import heapq
+import math
 import os
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .model import OCSPInstance
+from .model import ModelError, OCSPInstance
 from .schedule import Schedule, ScheduleError
 
 __all__ = [
     "TaskTiming",
     "CallTiming",
     "MakespanResult",
+    "DueDateTable",
+    "DueDateObjectives",
     "simulate",
     "simulate_single_core",
     "iter_calls",
     "validate_for_simulation",
+    "objectives_from_timeline",
+    "due_date_objectives",
 ]
 
 
@@ -97,6 +102,196 @@ class MakespanResult:
     @property
     def exec_end(self) -> float:
         return self.makespan
+
+
+@dataclass(frozen=True)
+class DueDateTable:
+    """Per-function due dates and weights (the SCC-instances extension).
+
+    The paper's objective is the make-span alone; external workloads —
+    notably the MSOLab SCC due-date instances — ship a *due date* per
+    job.  The OCSP mapping is per **function**: a function's job is
+    considered complete when its **last invocation finishes**, and the
+    due-date objectives (:func:`due_date_objectives`) measure lateness
+    of that completion against ``due``, scaled by ``weight``.
+
+    Attributes:
+        entries: ``{function name: (due, weight)}``.  Due dates must be
+            finite and non-negative; weights finite and non-negative.
+    """
+
+    entries: Mapping[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        checked: Dict[str, Tuple[float, float]] = {}
+        for fname, entry in dict(self.entries).items():
+            if not isinstance(fname, str) or not fname:
+                raise ModelError(
+                    f"due dates: function name must be a non-empty string, "
+                    f"got {fname!r}"
+                )
+            try:
+                due, weight = entry
+            except (TypeError, ValueError):
+                raise ModelError(
+                    f"due dates: entry for {fname!r} must be a "
+                    f"(due, weight) pair, got {entry!r}"
+                ) from None
+            for label, value in (("due date", due), ("weight", weight)):
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise ModelError(
+                        f"due dates: {label} for {fname!r} must be a "
+                        f"number, got {value!r}"
+                    )
+                if not math.isfinite(value) or value < 0:
+                    raise ModelError(
+                        f"due dates: {label} for {fname!r} must be finite "
+                        f"and non-negative, got {value!r}"
+                    )
+            checked[fname] = (float(due), float(weight))
+        object.__setattr__(self, "entries", checked)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, fname: str) -> bool:
+        return fname in self.entries
+
+    def items(self):
+        """``(function, (due, weight))`` pairs in sorted-name order (the
+        canonical aggregation order every engine uses)."""
+        return sorted(self.entries.items())
+
+    def validate_against(self, instance: OCSPInstance) -> None:
+        """Check that every entry names a function of ``instance``.
+
+        Raises:
+            ModelError: for an entry whose function has no profile.
+        """
+        unknown = sorted(f for f in self.entries if f not in instance.profiles)
+        if unknown:
+            raise ModelError(
+                "due dates name functions absent from the instance: "
+                + ", ".join(unknown[:10])
+            )
+
+
+@dataclass(frozen=True)
+class DueDateObjectives:
+    """Due-date-aware objectives of one simulated run.
+
+    All completions are *last-invocation finish times*, measured on the
+    same clock as :attr:`MakespanResult.makespan` (t = 0 is the start of
+    the first compilation).  Functions with a due date that are never
+    called contribute nothing (their job never ran in this trace).
+
+    Attributes:
+        makespan: the run's make-span (for context).
+        max_tardiness: ``max_f max(0, C_f - d_f)`` — the worst lateness.
+        total_weighted_tardiness: ``sum_f w_f * max(0, C_f - d_f)``.
+        weighted_completion: ``sum_f w_f * C_f`` (the classic
+            ``sum w_j C_j`` objective).
+        num_late: how many dued functions finished after their due date.
+        num_jobs: how many dued functions were actually called.
+        completions: ``{function: C_f}`` for every dued, called function.
+    """
+
+    makespan: float
+    max_tardiness: float
+    total_weighted_tardiness: float
+    weighted_completion: float
+    num_late: int
+    num_jobs: int
+    completions: Dict[str, float]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-data view (stable keys, JSON-ready)."""
+        return {
+            "makespan": self.makespan,
+            "max_tardiness": self.max_tardiness,
+            "total_weighted_tardiness": self.total_weighted_tardiness,
+            "weighted_completion": self.weighted_completion,
+            "num_late": self.num_late,
+            "num_jobs": self.num_jobs,
+            "completions": dict(sorted(self.completions.items())),
+        }
+
+
+def objectives_from_timeline(
+    result: MakespanResult, due: DueDateTable
+) -> DueDateObjectives:
+    """Aggregate due-date objectives from a recorded call timeline.
+
+    The aggregation is deterministic and engine-independent: functions
+    are visited in sorted-name order and the weighted sums accumulate
+    left-associated, so every engine that produces a bitwise-identical
+    timeline produces bitwise-identical objectives.
+
+    Raises:
+        ValueError: if ``result`` carries no call timeline (simulate
+            with ``record_timeline=True``).
+    """
+    if result.call_timings is None:
+        raise ValueError(
+            "objectives_from_timeline needs call timings; simulate with "
+            "record_timeline=True"
+        )
+    last_finish: Dict[str, float] = {}
+    for timing in result.call_timings:
+        if timing.function in due:
+            last_finish[timing.function] = timing.finish
+    max_tardiness = 0.0
+    total_weighted_tardiness = 0.0
+    weighted_completion = 0.0
+    num_late = 0
+    for fname, (due_time, weight) in due.items():
+        finish = last_finish.get(fname)
+        if finish is None:
+            continue
+        tardiness = finish - due_time
+        if tardiness > 0.0:
+            num_late += 1
+            if tardiness > max_tardiness:
+                max_tardiness = tardiness
+            total_weighted_tardiness += weight * tardiness
+        weighted_completion += weight * finish
+    return DueDateObjectives(
+        makespan=result.makespan,
+        max_tardiness=max_tardiness,
+        total_weighted_tardiness=total_weighted_tardiness,
+        weighted_completion=weighted_completion,
+        num_late=num_late,
+        num_jobs=len(last_finish),
+        completions=last_finish,
+    )
+
+
+def due_date_objectives(
+    instance: OCSPInstance,
+    schedule: Schedule,
+    due: DueDateTable,
+    compile_threads: int = 1,
+    validate: bool = True,
+    engine: Optional[str] = None,
+) -> DueDateObjectives:
+    """Simulate ``schedule`` and measure the due-date objectives.
+
+    Runs one timeline-recording simulation through the engine seam
+    (``engine`` as in :func:`simulate`: ``None`` defers to the session
+    default) and aggregates with :func:`objectives_from_timeline`; all
+    engines yield bitwise-identical objectives.
+    """
+    result = simulate(
+        instance,
+        schedule,
+        compile_threads=compile_threads,
+        record_timeline=True,
+        validate=validate,
+        engine=engine,
+    )
+    return objectives_from_timeline(result, due)
 
 
 def validate_for_simulation(

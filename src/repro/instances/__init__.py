@@ -1,0 +1,51 @@
+"""Versioned on-disk OCSP instance bundles and external importers.
+
+This package gives OCSP instances a portable, schema-versioned on-disk
+form (:mod:`repro.instances.format`) — a small directory of UTF-8
+JSON/CSV files with a manifest carrying a format version and a SHA-256
+content fingerprint — plus importers that build instances from sources
+other than the synthetic generator:
+
+* :mod:`repro.instances.v8log` — V8 ``--trace-opt``-style logs;
+* :mod:`repro.instances.jvmlog` — HotSpot ``-XX:+PrintCompilation``
+  logs;
+* :mod:`repro.instances.scc` — SCC due-date instance sets, which also
+  introduce the due-date objectives of :mod:`repro.core.makespan`.
+
+Exports are canonical (sorted keys, ``repr`` floats, ``\\n`` endings),
+so export → import round-trips bitwise and two exports of the same
+instance compare equal with ``cmp``.  See ``docs/INSTANCES.md`` for the
+file-by-file specification.
+"""
+
+from .format import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    MANIFEST_FILE,
+    InstanceBundle,
+    InstanceError,
+    fingerprint_content,
+    list_bundles,
+    read_bundle,
+    validate_bundle,
+    write_bundle,
+)
+from .jvmlog import bundle_from_jvm_log
+from .scc import bundle_from_scc
+from .v8log import bundle_from_v8_log
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_FILE",
+    "InstanceBundle",
+    "InstanceError",
+    "fingerprint_content",
+    "list_bundles",
+    "read_bundle",
+    "validate_bundle",
+    "write_bundle",
+    "bundle_from_v8_log",
+    "bundle_from_jvm_log",
+    "bundle_from_scc",
+]

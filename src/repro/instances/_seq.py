@@ -1,0 +1,44 @@
+"""Deterministic call-sequence synthesis for log importers.
+
+Compilation logs (V8 ``--trace-opt``, HotSpot ``-XX:+PrintCompilation``)
+record *compilation* events, not individual invocations, so an importer
+must synthesize the invocation interleave.  The scheme here is a plain
+round-robin: every function gets a hotness weight (its total call
+count), and rounds emit one call of each still-active function in
+first-seen order until all weights are exhausted.  This models the
+steady interleaved phase the JIT actually observed (everything that got
+compiled was running concurrently hot), uses no randomness, and is
+trivially reproducible — the same log always yields the same sequence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["weighted_round_robin"]
+
+
+def weighted_round_robin(weights: Sequence[Tuple[str, int]]) -> Tuple[str, ...]:
+    """Interleave ``(name, count)`` entries round-robin, in given order.
+
+    Each round emits one call of every entry whose count is not yet
+    exhausted, preserving the entries' order within the round; the
+    sequence length is the sum of the counts.
+    """
+    remaining: List[int] = []
+    names: List[str] = []
+    for name, count in weights:
+        if count < 0:
+            raise ValueError(f"call count for {name!r} must be >= 0")
+        names.append(name)
+        remaining.append(count)
+    calls: List[str] = []
+    active = sum(1 for count in remaining if count > 0)
+    while active:
+        for i, name in enumerate(names):
+            if remaining[i] > 0:
+                calls.append(name)
+                remaining[i] -= 1
+                if remaining[i] == 0:
+                    active -= 1
+    return tuple(calls)

@@ -1,0 +1,141 @@
+"""Import OCSP instances from JVM compilation logs.
+
+HotSpot run with ``-XX:+PrintCompilation`` prints one line per compile
+task::
+
+      79    1       3       java.lang.String::hashCode (55 bytes)
+      80    2       4       java.lang.String::equals (81 bytes)
+      85    3 %     3       com.example.Loop::main @ 2 (120 bytes)
+      90    4       3       com.example.Loop::work (30 bytes)   made not entrant
+
+Columns: timestamp (ms since VM start), compile id, attribute flags
+(``%`` on-stack replacement, ``!`` exception handlers, ``s``
+synchronized, ``b`` blocking, ``n`` native), tier (1–4), method, and
+the bytecode size.  The adapter reads the timestamp order, the tier,
+and the size; every non-matching line is skipped.  A log with no
+recognizable compile line raises
+:class:`~repro.instances.format.InstanceError`.
+
+Mapping: HotSpot tiers ``1..maxTier`` become OCSP levels
+``0..maxTier-1`` (every function gets the full level ladder, like the
+paper's Jikes configuration).  ``PrintCompilation`` carries neither
+compile durations nor execution times, so both are modeled from the
+bytecode size with fixed per-level factors
+(:data:`COMPILE_US_PER_BYTE`, :data:`EXEC_US_PER_BYTE`,
+:data:`LEVEL_SPEEDUP` — C2 compiles slowly and runs fast); invocation
+counts come from the hottest tier a method reached
+(:data:`TIER_CALLS`), interleaved by the deterministic weighted
+round-robin of :mod:`repro.instances._seq`.  See ``docs/INSTANCES.md``
+for the caveats.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.model import FunctionProfile, ModelError, OCSPInstance
+from ._seq import weighted_round_robin
+from .format import InstanceBundle, InstanceError
+
+__all__ = [
+    "COMPILE_US_PER_BYTE",
+    "EXEC_US_PER_BYTE",
+    "LEVEL_SPEEDUP",
+    "TIER_CALLS",
+    "bundle_from_jvm_log",
+]
+
+# Compile cost per bytecode byte at each level (µs): C1 tiers are
+# cheap, the C2 tier is an order of magnitude slower.
+COMPILE_US_PER_BYTE = (0.1, 0.25, 0.5, 2.0)
+# Interpreter-equivalent execution cost per bytecode byte (µs) ...
+EXEC_US_PER_BYTE = 0.05
+# ... divided by the level's speedup factor (must be increasing).
+LEVEL_SPEEDUP = (1.0, 2.0, 3.0, 8.0)
+# Synthesized invocation counts by the hottest tier a method reached:
+# tier-4 methods crossed HotSpot's highest threshold.
+TIER_CALLS = {1: 4, 2: 8, 3: 32, 4: 128}
+
+_LINE_RE = re.compile(
+    r"^\s*(\d+)\s+(\d+)\s+([%!sbn ]*?)\s*([1-4])\s+(\S+?)(?:\s+@\s+\d+)?"
+    r"\s+\((\d+)\s+bytes\)"
+)
+
+
+def bundle_from_jvm_log(
+    source: Union[str, Path],
+    name: Optional[str] = None,
+    from_file: bool = True,
+) -> InstanceBundle:
+    """Build an instance bundle from a ``-XX:+PrintCompilation`` log.
+
+    Args:
+        source: path to the log (or its text when ``from_file=False``).
+        name: instance label (default: the file's stem, or
+            ``"jvm-log"``).
+        from_file: treat ``source`` as a path (default) or as raw text.
+
+    Raises:
+        InstanceError: if no compile line parses, or a parsed value is
+            out of range.
+        OSError: if the file cannot be read.
+    """
+    if from_file:
+        path = Path(source)
+        text = path.read_text(encoding="utf-8", errors="replace")
+        label = name or path.stem
+    else:
+        text = str(source)
+        label = name or "jvm-log"
+
+    first_seen: List[str] = []
+    max_tier: Dict[str, int] = {}
+    size_bytes: Dict[str, int] = {}
+    for line in text.splitlines():
+        match = _LINE_RE.match(line)
+        if not match:
+            continue
+        tier = int(match.group(4))
+        method = match.group(5)
+        size = int(match.group(6))
+        if size <= 0:
+            raise InstanceError(
+                f"jvm log: bytecode size for {method!r} must be positive, "
+                f"got {size}"
+            )
+        if method not in max_tier:
+            first_seen.append(method)
+            max_tier[method] = tier
+            size_bytes[method] = size
+        else:
+            max_tier[method] = max(max_tier[method], tier)
+    if not first_seen:
+        raise InstanceError(
+            "jvm log: no PrintCompilation lines found — expected "
+            "'timestamp id [flags] tier method (N bytes)'"
+        )
+
+    levels = max(max_tier.values())
+    profiles: Dict[str, FunctionProfile] = {}
+    weights = []
+    for method in first_seen:
+        size = size_bytes[method]
+        compile_times = tuple(
+            size * COMPILE_US_PER_BYTE[j] for j in range(levels)
+        )
+        exec_times = tuple(
+            size * EXEC_US_PER_BYTE / LEVEL_SPEEDUP[j] for j in range(levels)
+        )
+        try:
+            profiles[method] = FunctionProfile(
+                name=method, compile_times=compile_times, exec_times=exec_times
+            )
+        except ModelError as exc:  # defensive: factors keep monotonicity
+            raise InstanceError(f"jvm log: {method!r}: {exc}") from exc
+        weights.append((method, TIER_CALLS[max_tier[method]]))
+
+    calls = weighted_round_robin(weights)
+    instance = OCSPInstance(profiles=profiles, calls=calls, name=label)
+    return InstanceBundle(instance=instance, source="jvm-log", time_unit="us")

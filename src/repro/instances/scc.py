@@ -1,0 +1,264 @@
+"""Import OCSP instances from SCC (steelmaking continuous casting) sets.
+
+SCC scheduling instances ship as a small family of UTF-8 files sharing
+a prefix::
+
+    <prefix>_mc_env.json   machine environment: stage -> machine count
+    <prefix>_pt.csv        processing times: one row per charge,
+                           one column per stage
+    <prefix>_cast.json     casts: ordered groups of charges
+    <prefix>_duedate.json  per-charge due dates (optional)
+
+The mapping onto OCSP treats each *charge* as a function and its stage
+processing times as level costs:
+
+* level 0 ("unprepared"): no compile cost, the whole processing chain
+  runs at call time (``c0 = 0``, ``e0 = sum of all stage times``);
+* level 1 ("prepared"): the first stage is done ahead of time as a
+  compile (``c1 = first-stage time``, ``e1 = sum of the remaining
+  stages``) — monotone by construction.
+
+The call sequence is the casts concatenated in file order (a cast is a
+back-to-back run of its charges), ``compile_threads`` is the machine
+count of the first stage, and the due-date file becomes a
+:class:`~repro.core.makespan.DueDateTable` driving the tardiness
+objectives.  This is the adapter that exercises the due-date-aware
+side of the format; caveats live in ``docs/INSTANCES.md``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.makespan import DueDateTable
+from ..core.model import FunctionProfile, ModelError, OCSPInstance
+from .format import InstanceBundle, InstanceError
+
+__all__ = ["bundle_from_scc"]
+
+_SUFFIXES = ("_mc_env.json", "_pt.csv", "_cast.json", "_duedate.json")
+
+
+def _resolve_prefix(source: Path) -> Path:
+    """Resolve a directory or path prefix to the instance's file prefix."""
+    if source.is_dir():
+        envs = sorted(source.glob("*_mc_env.json"))
+        if not envs:
+            raise InstanceError(
+                f"scc: no '*_mc_env.json' found in directory {source}"
+            )
+        if len(envs) > 1:
+            names = ", ".join(p.name for p in envs)
+            raise InstanceError(
+                f"scc: directory {source} holds several instances "
+                f"({names}); pass the file prefix instead"
+            )
+        return Path(str(envs[0])[: -len("_mc_env.json")])
+    text = str(source)
+    for suffix in _SUFFIXES:
+        if text.endswith(suffix):
+            return Path(text[: -len(suffix)])
+    return source
+
+
+def _load_json(path: Path) -> object:
+    if not path.is_file():
+        raise InstanceError(f"scc: missing file {path}")
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise InstanceError(f"scc: {path.name} is not valid JSON: {exc}") from exc
+
+
+def _machine_env(path: Path) -> Dict[str, int]:
+    """Read stage -> machine-count; document order defines stage order."""
+    data = _load_json(path)
+    if isinstance(data, dict) and isinstance(data.get("stages"), dict):
+        data = data["stages"]
+    if not isinstance(data, dict) or not data:
+        raise InstanceError(
+            f"scc: {path.name} must map stage names to machine counts"
+        )
+    stages: Dict[str, int] = {}
+    for stage, count in data.items():
+        if not isinstance(stage, str) or not stage:
+            raise InstanceError(f"scc: {path.name}: bad stage name {stage!r}")
+        if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+            raise InstanceError(
+                f"scc: {path.name}: machine count for stage {stage!r} must "
+                f"be a positive integer, got {count!r}"
+            )
+        stages[stage] = count
+    return stages
+
+
+def _processing_times(
+    path: Path, stages: List[str]
+) -> Dict[str, Tuple[float, ...]]:
+    if not path.is_file():
+        raise InstanceError(f"scc: missing file {path}")
+    with path.open(encoding="utf-8", newline="") as handle:
+        rows = list(csv.reader(handle))
+    if not rows:
+        raise InstanceError(f"scc: {path.name} is empty")
+    header = rows[0]
+    if len(header) < 2 or header[0] != "charge":
+        raise InstanceError(
+            f"scc: {path.name} header must be 'charge,<stage>,...', "
+            f"got {header!r}"
+        )
+    if header[1:] != stages:
+        raise InstanceError(
+            f"scc: {path.name} stages {header[1:]!r} do not match the "
+            f"machine environment stages {stages!r}"
+        )
+    times: Dict[str, Tuple[float, ...]] = {}
+    for lineno, row in enumerate(rows[1:], start=2):
+        if not row:
+            continue
+        if len(row) != len(header):
+            raise InstanceError(
+                f"scc: {path.name} line {lineno}: expected "
+                f"{len(header)} fields, got {len(row)}"
+            )
+        charge = row[0]
+        if not charge:
+            raise InstanceError(f"scc: {path.name} line {lineno}: empty charge")
+        if charge in times:
+            raise InstanceError(
+                f"scc: {path.name} line {lineno}: duplicate charge {charge!r}"
+            )
+        values = []
+        for stage, cell in zip(stages, row[1:]):
+            try:
+                value = float(cell)
+            except ValueError as exc:
+                raise InstanceError(
+                    f"scc: {path.name} line {lineno}: stage {stage!r} time "
+                    f"{cell!r} is not a number"
+                ) from exc
+            if not value >= 0.0 or value != value or value == float("inf"):
+                raise InstanceError(
+                    f"scc: {path.name} line {lineno}: stage {stage!r} time "
+                    f"must be finite and >= 0, got {cell!r}"
+                )
+            values.append(value)
+        times[charge] = tuple(values)
+    if not times:
+        raise InstanceError(f"scc: {path.name} has no charge rows")
+    return times
+
+
+def _casts(path: Path, charges: Dict[str, Tuple[float, ...]]) -> Tuple[str, ...]:
+    data = _load_json(path)
+    if isinstance(data, dict) and isinstance(data.get("casts"), list):
+        data = data["casts"]
+    if not isinstance(data, list) or not data:
+        raise InstanceError(
+            f"scc: {path.name} must hold a non-empty list of casts"
+        )
+    calls: List[str] = []
+    for i, cast in enumerate(data):
+        if not isinstance(cast, list) or not cast:
+            raise InstanceError(
+                f"scc: {path.name}: cast #{i} must be a non-empty list of "
+                f"charges"
+            )
+        for charge in cast:
+            if not isinstance(charge, str) or charge not in charges:
+                raise InstanceError(
+                    f"scc: {path.name}: cast #{i} references unknown charge "
+                    f"{charge!r}"
+                )
+            calls.append(charge)
+    return tuple(calls)
+
+
+def _due_dates(path: Path, charges: Dict[str, Tuple[float, ...]]) -> DueDateTable:
+    data = _load_json(path)
+    if isinstance(data, dict) and isinstance(data.get("entries"), dict):
+        entries_raw: Dict[str, object] = data["entries"]
+    elif isinstance(data, dict):
+        entries_raw = data
+    else:
+        raise InstanceError(
+            f"scc: {path.name} must map charges to due dates"
+        )
+    if not entries_raw:
+        raise InstanceError(f"scc: {path.name} holds no due dates")
+    entries: Dict[str, Tuple[float, float]] = {}
+    for charge, value in entries_raw.items():
+        if charge not in charges:
+            raise InstanceError(
+                f"scc: {path.name} references unknown charge {charge!r}"
+            )
+        if isinstance(value, dict):
+            due = value.get("due")
+            weight = value.get("weight", 1.0)
+        else:
+            due = value
+            weight = 1.0
+        for label, number in (("due", due), ("weight", weight)):
+            if isinstance(number, bool) or not isinstance(number, (int, float)):
+                raise InstanceError(
+                    f"scc: {path.name}: {label} for charge {charge!r} must "
+                    f"be a number, got {number!r}"
+                )
+        entries[charge] = (float(due), float(weight))
+    try:
+        return DueDateTable(entries=entries)
+    except ModelError as exc:
+        raise InstanceError(f"scc: {path.name}: {exc}") from exc
+
+
+def bundle_from_scc(
+    source: Union[str, Path], name: Optional[str] = None
+) -> InstanceBundle:
+    """Build an instance bundle from an SCC instance file set.
+
+    Args:
+        source: a directory holding exactly one instance, the shared
+            file prefix, or any one of the instance's files.
+        name: instance label (default: the prefix's base name).
+
+    Raises:
+        InstanceError: on missing files or malformed contents.
+    """
+    prefix = _resolve_prefix(Path(source))
+    stages_map = _machine_env(Path(str(prefix) + "_mc_env.json"))
+    stages = list(stages_map)
+    times = _processing_times(Path(str(prefix) + "_pt.csv"), stages)
+    calls = _casts(Path(str(prefix) + "_cast.json"), times)
+
+    profiles: Dict[str, FunctionProfile] = {}
+    for charge, values in times.items():
+        total = 0.0
+        for value in values:
+            total += value
+        rest = 0.0
+        for value in values[1:]:
+            rest += value
+        try:
+            profiles[charge] = FunctionProfile(
+                name=charge,
+                compile_times=(0.0, values[0]),
+                exec_times=(total, rest),
+            )
+        except ModelError as exc:
+            raise InstanceError(f"scc: charge {charge!r}: {exc}") from exc
+
+    due_path = Path(str(prefix) + "_duedate.json")
+    due = _due_dates(due_path, times) if due_path.is_file() else None
+
+    label = name or prefix.name
+    instance = OCSPInstance(profiles=profiles, calls=calls, name=label)
+    return InstanceBundle(
+        instance=instance,
+        due_dates=due,
+        source="scc",
+        compile_threads=stages_map[stages[0]],
+        time_unit="min",
+    )

@@ -1,0 +1,162 @@
+"""Import OCSP instances from V8 ``--trace-opt``-style logs.
+
+V8 run with ``--trace-opt`` (and friends) prints one line per
+optimization event::
+
+    [marking 0x2a2d <JSFunction hotLoop (sfi = 0x11)> for optimized
+        recompilation, reason: hot and stable]
+    [compiling method 0x2a2d <JSFunction hotLoop> using TurboFan]
+    [optimizing 0x2a2d <JSFunction hotLoop (sfi = 0x11)> - took 0.319,
+        1.106, 0.033 ms]
+    [completed optimizing 0x2a2d <JSFunction hotLoop>]
+
+The adapter reads two event kinds:
+
+* ``[marking <f> for optimized recompilation...]`` — ``f`` got hot;
+  order of first marking gives the first-seen order;
+* ``[optimizing <f> - took a, b, c ms]`` — the three phase times of the
+  optimizing compile; their sum is ``f``'s **measured** level-1 compile
+  time.
+
+Everything else a real log contains (deopts, GC lines, program output)
+is skipped; a log with *no* recognizable event raises
+:class:`~repro.instances.format.InstanceError`.
+
+Caveats (also in ``docs/INSTANCES.md``): a ``--trace-opt`` log carries
+no per-invocation execution times and no baseline compile times, so the
+importer derives them with fixed, documented ratios
+(:data:`BASELINE_COMPILE_RATIO`, :data:`EXEC_PER_COMPILE`,
+:data:`OPT_SPEEDUP`), and synthesizes the invocation interleave with a
+deterministic weighted round-robin (:mod:`repro.instances._seq`).  The
+resulting instance is a faithful *shape* of the logged workload — real
+functions, real compile times, real hot set — with modeled execution
+costs.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..core.model import FunctionProfile, ModelError, OCSPInstance
+from ._seq import weighted_round_robin
+from .format import InstanceBundle, InstanceError
+
+__all__ = [
+    "BASELINE_COMPILE_RATIO",
+    "EXEC_PER_COMPILE",
+    "OPT_SPEEDUP",
+    "HOT_CALLS",
+    "WARM_CALLS",
+    "bundle_from_v8_log",
+]
+
+# Baseline (Ignition/Sparkplug-style) compile time as a fraction of the
+# measured optimizing compile time.
+BASELINE_COMPILE_RATIO = 0.1
+# Per-invocation optimized execution time as a fraction of the
+# optimizing compile time (a compile amortizes over ~50 calls).
+EXEC_PER_COMPILE = 0.02
+# Baseline-over-optimized execution slowdown.
+OPT_SPEEDUP = 4.0
+# Synthesized invocation counts: functions that reached the optimizer
+# vs functions only marked hot.
+HOT_CALLS = 64
+WARM_CALLS = 8
+
+_MARKING_RE = re.compile(
+    r"\[marking\s+(?:0x[0-9a-fA-F]+\s+)?<JSFunction\s+([^\s>(]+)"
+    r"[^>]*>\s+for optimized recompilation"
+)
+_OPTIMIZING_RE = re.compile(
+    r"\[optimizing\s+(?:0x[0-9a-fA-F]+\s+)?<JSFunction\s+([^\s>(]+)"
+    r"[^>]*>\s+-\s+took\s+([0-9.]+),\s*([0-9.]+),\s*([0-9.]+)\s*ms\]"
+)
+
+
+def bundle_from_v8_log(
+    source: Union[str, Path],
+    name: Optional[str] = None,
+    from_file: bool = True,
+) -> InstanceBundle:
+    """Build an instance bundle from a V8 ``--trace-opt``-style log.
+
+    Args:
+        source: path to the log (or its text when ``from_file=False``).
+        name: instance label (default: the file's stem, or ``"v8-log"``).
+        from_file: treat ``source`` as a path (default) or as raw text.
+
+    Raises:
+        InstanceError: if the log contains no recognizable event or a
+            parsed value is malformed.
+        OSError: if the file cannot be read.
+    """
+    if from_file:
+        path = Path(source)
+        text = path.read_text(encoding="utf-8", errors="replace")
+        label = name or path.stem
+    else:
+        text = str(source)
+        label = name or "v8-log"
+
+    first_seen: List[str] = []
+    opt_compile_ms: Dict[str, float] = {}
+    for line in text.splitlines():
+        match = _MARKING_RE.search(line)
+        if match:
+            fname = match.group(1)
+            if fname not in first_seen:
+                first_seen.append(fname)
+            continue
+        match = _OPTIMIZING_RE.search(line)
+        if match:
+            fname = match.group(1)
+            if fname not in first_seen:
+                first_seen.append(fname)
+            took = sum(float(match.group(i)) for i in (2, 3, 4))
+            if took <= 0.0:
+                raise InstanceError(
+                    f"v8 log: optimizing time for {fname!r} must be "
+                    f"positive, got {took!r}"
+                )
+            # First measurement wins: recompiles after deopt re-time the
+            # same work, and determinism beats averaging here.
+            opt_compile_ms.setdefault(fname, took)
+    if not first_seen:
+        raise InstanceError(
+            "v8 log: no '[marking ...]' or '[optimizing ... took ...]' "
+            "events found — is this a --trace-opt log?"
+        )
+
+    profiles: Dict[str, FunctionProfile] = {}
+    weights = []
+    for fname in first_seen:
+        took = opt_compile_ms.get(fname)
+        if took is None:
+            # Marked hot but never finished optimizing: a single
+            # baseline level, costed like a typical baseline compile.
+            base = 1.0 * BASELINE_COMPILE_RATIO
+            exec_base = base * EXEC_PER_COMPILE * OPT_SPEEDUP
+            profiles[fname] = FunctionProfile(
+                name=fname,
+                compile_times=(base,),
+                exec_times=(exec_base,),
+            )
+            weights.append((fname, WARM_CALLS))
+            continue
+        c1 = took
+        c0 = c1 * BASELINE_COMPILE_RATIO
+        e1 = c1 * EXEC_PER_COMPILE
+        e0 = e1 * OPT_SPEEDUP
+        try:
+            profiles[fname] = FunctionProfile(
+                name=fname, compile_times=(c0, c1), exec_times=(e0, e1)
+            )
+        except ModelError as exc:  # defensive: ratios keep monotonicity
+            raise InstanceError(f"v8 log: {fname!r}: {exc}") from exc
+        weights.append((fname, HOT_CALLS))
+
+    calls = weighted_round_robin(weights)
+    instance = OCSPInstance(profiles=profiles, calls=calls, name=label)
+    return InstanceBundle(instance=instance, source="v8-log", time_unit="ms")

@@ -1,0 +1,311 @@
+"""The ``repro instances`` CLI verbs and the ``--instance`` flags:
+export/import/validate/list behavior, the bitwise export contract, and
+the exit-2 ``instance:`` diagnostics."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.instances import read_bundle
+
+FIXTURES = Path(__file__).parent / "fixtures"
+IMPORTERS = FIXTURES / "importers"
+INSTANCES = FIXTURES / "instances"
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture()
+def trace_path(tmp_path, capsys):
+    path = tmp_path / "t.json"
+    code, _, _ = run(
+        capsys,
+        "generate",
+        "--functions", "4",
+        "--calls", "40",
+        "--levels", "3",
+        "-o", str(path),
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture()
+def bundle_path(tmp_path, trace_path, capsys):
+    out = tmp_path / "bundle"
+    code, _, _ = run(
+        capsys, "instances", "export", str(trace_path), "-o", str(out)
+    )
+    assert code == 0
+    return out
+
+
+@pytest.fixture()
+def schedule_path(tmp_path, trace_path, capsys):
+    path = tmp_path / "s.json"
+    code, _, _ = run(
+        capsys, "schedule", str(trace_path), "--algorithm", "iar",
+        "-o", str(path),
+    )
+    assert code == 0
+    return path
+
+
+class TestExport:
+    def test_export_prints_fingerprint(self, capsys, tmp_path, trace_path):
+        out = tmp_path / "b"
+        code, stdout, _ = run(
+            capsys, "instances", "export", str(trace_path), "-o", str(out)
+        )
+        assert code == 0
+        assert "fingerprint:" in stdout
+        assert read_bundle(out).content_fingerprint() in stdout
+
+    def test_export_benchmark(self, capsys, tmp_path):
+        out = tmp_path / "b"
+        code, stdout, _ = run(
+            capsys,
+            "instances", "export",
+            "--benchmark", "antlr", "--scale", "0.002",
+            "-o", str(out),
+        )
+        assert code == 0
+        assert read_bundle(out).source == "synthetic"
+
+    def test_re_export_is_byte_identical(
+        self, capsys, tmp_path, bundle_path
+    ):
+        out = tmp_path / "again"
+        code, _, _ = run(
+            capsys, "instances", "export", str(bundle_path), "-o", str(out)
+        )
+        assert code == 0
+        for path in sorted(bundle_path.iterdir()):
+            assert path.read_bytes() == (out / path.name).read_bytes()
+
+    def test_rename(self, capsys, tmp_path, trace_path):
+        out = tmp_path / "b"
+        code, _, _ = run(
+            capsys,
+            "instances", "export", str(trace_path),
+            "--name", "renamed", "-o", str(out),
+        )
+        assert code == 0
+        assert read_bundle(out).name == "renamed"
+
+    def test_source_and_benchmark_conflict(self, capsys, trace_path, tmp_path):
+        code, _, err = run(
+            capsys,
+            "instances", "export", str(trace_path),
+            "--benchmark", "antlr", "-o", str(tmp_path / "b"),
+        )
+        assert code == 2
+        assert err.startswith("repro: error:")
+
+    def test_neither_source_nor_benchmark(self, capsys, tmp_path):
+        code, _, err = run(
+            capsys, "instances", "export", "-o", str(tmp_path / "b")
+        )
+        assert code == 2
+        assert "exactly one" in err
+
+
+class TestImport:
+    @pytest.mark.parametrize(
+        "fmt,source",
+        [
+            ("v8", IMPORTERS / "v8-trace-opt.log"),
+            ("jvm", IMPORTERS / "jvm-print-compilation.log"),
+            ("scc", IMPORTERS / "scc-small_mc_env.json"),
+        ],
+    )
+    def test_import_writes_valid_bundle(self, capsys, tmp_path, fmt, source):
+        out = tmp_path / "b"
+        code, stdout, _ = run(
+            capsys,
+            "instances", "import", str(source),
+            "--format", fmt, "-o", str(out),
+        )
+        assert code == 0
+        assert "fingerprint:" in stdout
+        vcode, vout, _ = run(capsys, "instances", "validate", str(out))
+        assert vcode == 0
+        assert "validated 1 bundle(s)" in vout
+
+    def test_import_garbage_log_exits_2(self, capsys, tmp_path):
+        src = tmp_path / "junk.log"
+        src.write_text("nothing to see\n", encoding="utf-8")
+        code, _, err = run(
+            capsys,
+            "instances", "import", str(src),
+            "--format", "v8", "-o", str(tmp_path / "b"),
+        )
+        assert code == 2
+        assert err.startswith("repro: error: instance:")
+        assert err.count("\n") == 1  # one-line diagnostic
+
+
+class TestValidate:
+    def test_fixture_corpus_validates(self, capsys):
+        paths = sorted(str(p) for p in INSTANCES.iterdir())
+        assert len(paths) == 3
+        code, stdout, _ = run(capsys, "instances", "validate", *paths)
+        assert code == 0
+        assert "validated 3 bundle(s)" in stdout
+
+    def test_malformed_bundle_exits_2(self, capsys, tmp_path, bundle_path):
+        manifest = bundle_path / "manifest.json"
+        doc = json.loads(manifest.read_text(encoding="utf-8"))
+        doc["format_version"] = 999
+        manifest.write_text(json.dumps(doc), encoding="utf-8")
+        code, _, err = run(
+            capsys, "instances", "validate", str(bundle_path)
+        )
+        assert code == 2
+        assert err.startswith("repro: error: instance:")
+        assert err.count("\n") == 1
+
+    def test_tampered_content_exits_2(self, capsys, bundle_path):
+        calls = bundle_path / "calls.csv"
+        text = calls.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        calls.write_text(
+            "\n".join(lines[:1] + lines[2:]) + "\n", encoding="utf-8"
+        )
+        code, _, err = run(
+            capsys, "instances", "validate", str(bundle_path)
+        )
+        assert code == 2
+        assert "instance:" in err
+
+
+class TestList:
+    def test_lists_fixture_corpus(self, capsys):
+        code, stdout, _ = run(capsys, "instances", "list", str(INSTANCES))
+        assert code == 0
+        for name in ("v8-trace-opt", "jvm-print-compilation", "scc-small"):
+            assert name in stdout
+
+    def test_json_output(self, capsys, tmp_path):
+        out = tmp_path / "rows.json"
+        code, _, _ = run(
+            capsys,
+            "instances", "list", str(INSTANCES), "--json", str(out),
+        )
+        assert code == 0
+        rows = json.loads(out.read_text(encoding="utf-8"))
+        assert {row["name"] for row in rows} == {
+            "v8-trace-opt", "jvm-print-compilation", "scc-small",
+        }
+
+    def test_empty_directory(self, capsys, tmp_path):
+        code, stdout, _ = run(capsys, "instances", "list", str(tmp_path))
+        assert code == 0
+        assert "no bundles" in stdout
+
+
+class TestInstanceFlags:
+    def test_evaluate_instance_matches_trace(
+        self, capsys, trace_path, bundle_path, schedule_path
+    ):
+        code_t, out_t, _ = run(
+            capsys, "evaluate", str(trace_path), str(schedule_path)
+        )
+        code_b, out_b, _ = run(
+            capsys,
+            "evaluate", str(schedule_path), "--instance", str(bundle_path),
+        )
+        assert code_t == code_b == 0
+        assert out_t == out_b  # same metrics, byte for byte
+
+    def test_evaluate_requires_exactly_one_source(
+        self, capsys, trace_path, bundle_path, schedule_path
+    ):
+        code, _, err = run(
+            capsys,
+            "evaluate", str(trace_path), str(schedule_path),
+            "--instance", str(bundle_path),
+        )
+        assert code == 2
+        assert "exactly one" in err
+        code, _, err = run(capsys, "evaluate", str(schedule_path))
+        assert code == 2
+
+    def test_evaluate_prints_due_objectives(self, capsys, tmp_path):
+        bundle = tmp_path / "scc"
+        code, _, _ = run(
+            capsys,
+            "instances", "import", str(IMPORTERS / "scc-small_mc_env.json"),
+            "--format", "scc", "-o", str(bundle),
+        )
+        assert code == 0
+        instance = read_bundle(bundle).instance
+        sched = tmp_path / "s.json"
+        from repro.core import Schedule
+        from repro.workloads import traces
+
+        traces.save_schedule(
+            Schedule.of(*((f, 0) for f in sorted(instance.profiles))),
+            sched,
+        )
+        code, stdout, _ = run(
+            capsys, "evaluate", str(sched), "--instance", str(bundle)
+        )
+        assert code == 0
+        assert "due-date objectives" in stdout
+        assert "max tardiness" in stdout
+
+    def test_diagnose_instance(self, capsys, bundle_path, schedule_path):
+        code, stdout, _ = run(
+            capsys,
+            "diagnose", str(schedule_path), "--instance", str(bundle_path),
+        )
+        assert code == 0
+        assert "make-span" in stdout
+
+    def test_study_instance(self, capsys, bundle_path, tmp_path):
+        out = tmp_path / "rows.json"
+        code, stdout, _ = run(
+            capsys,
+            "study", "--instance", str(bundle_path),
+            "--figure", "fig5", "--json-out", str(out),
+        )
+        assert code == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        benchmarks = [row["benchmark"] for row in doc["rows"]["figure5"]]
+        assert benchmarks == [read_bundle(bundle_path).name]
+
+    def test_study_instance_rejects_preset_figures(self, capsys, bundle_path):
+        code, _, err = run(
+            capsys,
+            "study", "--instance", str(bundle_path), "--figure", "table1",
+        )
+        assert code == 2
+        assert "cannot run on --instance" in err
+
+    def test_faults_sweep_instance(self, capsys, bundle_path, tmp_path):
+        out = tmp_path / "sweep.json"
+        code, _, _ = run(
+            capsys,
+            "faults", "sweep", "--instance", str(bundle_path),
+            "--rates", "0,0.2", "--json-out", str(out),
+        )
+        assert code == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["rates"] == [0.0, 0.2]
+        assert doc["rows"]
+
+    def test_missing_bundle_exits_2(self, capsys, schedule_path, tmp_path):
+        code, _, err = run(
+            capsys,
+            "evaluate", str(schedule_path),
+            "--instance", str(tmp_path / "nope"),
+        )
+        assert code == 2
+        assert err.startswith("repro: error: instance:")

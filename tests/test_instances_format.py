@@ -1,0 +1,306 @@
+"""The versioned on-disk instance format: canonical exports, full
+validation, and the stable ``instance:`` error taxonomy."""
+
+import json
+
+import pytest
+
+from repro.core import DueDateTable, Schedule, simulate
+from repro.core.engine import ENGINES
+from repro.instances import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    InstanceBundle,
+    InstanceError,
+    fingerprint_content,
+    list_bundles,
+    read_bundle,
+    validate_bundle,
+    write_bundle,
+)
+from repro.store import fingerprint_instance
+from repro.workloads import WorkloadSpec, generate
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate(
+        WorkloadSpec(name="fmt", num_functions=5, num_calls=60, num_levels=3),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def due(instance):
+    names = sorted(instance.profiles)
+    return DueDateTable(
+        {names[0]: (50.0, 2.0), names[1]: (10.0, 1.0), names[2]: (0.0, 1.0)}
+    )
+
+
+@pytest.fixture()
+def bundle(instance, due):
+    return InstanceBundle(
+        instance=instance, due_dates=due, source="synthetic", compile_threads=2
+    )
+
+
+def file_bytes(root):
+    return {
+        p.name: p.read_bytes() for p in sorted(root.iterdir()) if p.is_file()
+    }
+
+
+class TestRoundTrip:
+    def test_read_back_equals_original(self, tmp_path, bundle):
+        write_bundle(bundle, tmp_path / "b")
+        back = read_bundle(tmp_path / "b")
+        assert back.instance == bundle.instance
+        assert back.due_dates == bundle.due_dates
+        assert back.source == bundle.source
+        assert back.compile_threads == bundle.compile_threads
+        assert back.content_fingerprint() == bundle.content_fingerprint()
+
+    def test_re_export_is_byte_identical(self, tmp_path, bundle):
+        write_bundle(bundle, tmp_path / "a")
+        write_bundle(read_bundle(tmp_path / "a"), tmp_path / "b")
+        assert file_bytes(tmp_path / "a") == file_bytes(tmp_path / "b")
+
+    def test_simulate_counters_survive_round_trip(self, tmp_path, bundle):
+        write_bundle(bundle, tmp_path / "b")
+        back = read_bundle(tmp_path / "b")
+        schedule = Schedule.of(
+            *((f, 0) for f in sorted(bundle.instance.called_functions))
+        )
+        for engine in ENGINES:
+            a = simulate(bundle.instance, schedule, engine=engine)
+            b = simulate(back.instance, schedule, engine=engine)
+            assert a.makespan == b.makespan
+            assert a.calls_at_level == b.calls_at_level
+            assert a.total_bubble_time == b.total_bubble_time
+
+    def test_manifest_path_accepted(self, tmp_path, bundle):
+        root = write_bundle(bundle, tmp_path / "b")
+        back = read_bundle(root / "manifest.json")
+        assert back.instance == bundle.instance
+
+    def test_trailing_newline_on_every_file(self, tmp_path, bundle):
+        root = write_bundle(bundle, tmp_path / "b")
+        for name, data in file_bytes(root).items():
+            assert data.endswith(b"\n"), name
+            assert b"\r" not in data, name
+
+
+class TestFingerprint:
+    def test_matches_store_without_due_dates(self, instance):
+        bundle = InstanceBundle(instance=instance)
+        assert bundle.content_fingerprint() == fingerprint_instance(instance)
+
+    def test_due_dates_change_the_fingerprint(self, instance, due):
+        plain = fingerprint_content(instance)
+        with_due = fingerprint_content(instance, due)
+        assert plain != with_due
+
+    def test_due_date_weight_changes_the_fingerprint(self, instance, due):
+        names = sorted(due.entries)
+        bumped = DueDateTable(
+            {
+                f: (d, w + 1.0 if f == names[0] else w)
+                for f, (d, w) in due.items()
+            }
+        )
+        assert fingerprint_content(instance, due) != fingerprint_content(
+            instance, bumped
+        )
+
+
+class TestValidation:
+    def edited(self, tmp_path, bundle, name, transform):
+        root = write_bundle(bundle, tmp_path / "b")
+        target = root / name
+        target.write_text(transform(target.read_text()), encoding="utf-8")
+        return root
+
+    def test_nonexistent_path(self, tmp_path):
+        with pytest.raises(InstanceError, match="^instance:"):
+            read_bundle(tmp_path / "missing")
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "b").mkdir()
+        with pytest.raises(InstanceError, match="manifest"):
+            read_bundle(tmp_path / "b")
+
+    def test_wrong_format_name(self, tmp_path, bundle):
+        def transform(text):
+            doc = json.loads(text)
+            doc["format"] = "other-format"
+            return json.dumps(doc)
+
+        root = self.edited(tmp_path, bundle, "manifest.json", transform)
+        with pytest.raises(InstanceError, match="unsupported format"):
+            read_bundle(root)
+
+    def test_wrong_format_version(self, tmp_path, bundle):
+        def transform(text):
+            doc = json.loads(text)
+            doc["format_version"] = FORMAT_VERSION + 1
+            return json.dumps(doc)
+
+        root = self.edited(tmp_path, bundle, "manifest.json", transform)
+        with pytest.raises(InstanceError, match="format_version"):
+            read_bundle(root)
+
+    def test_unknown_extra_manifest_keys_ignored(self, tmp_path, bundle):
+        def transform(text):
+            doc = json.loads(text)
+            doc["x_future_extension"] = {"anything": 1}
+            # Keys are additive-compatible, but the fingerprint covers
+            # content only, so the bundle still validates.
+            return json.dumps(doc)
+
+        root = self.edited(tmp_path, bundle, "manifest.json", transform)
+        assert read_bundle(root).instance == bundle.instance
+
+    def test_file_map_rejects_path_escape(self, tmp_path, bundle):
+        def transform(text):
+            doc = json.loads(text)
+            doc["files"]["costs"] = "../costs.csv"
+            return json.dumps(doc)
+
+        root = self.edited(tmp_path, bundle, "manifest.json", transform)
+        with pytest.raises(InstanceError, match="bare file name"):
+            read_bundle(root)
+
+    def test_listed_file_missing(self, tmp_path, bundle):
+        root = write_bundle(bundle, tmp_path / "b")
+        (root / "calls.csv").unlink()
+        with pytest.raises(InstanceError, match="missing"):
+            read_bundle(root)
+
+    def test_tampered_costs_fail_the_fingerprint(self, tmp_path, bundle):
+        def transform(text):
+            lines = text.splitlines()
+            name, rest = lines[1].split(",", 1)
+            cells = rest.split(",")
+            cells[0] = repr(float(cells[0]) * 0.5)
+            lines[1] = ",".join([name] + cells)
+            return "\n".join(lines) + "\n"
+
+        root = self.edited(tmp_path, bundle, "costs.csv", transform)
+        with pytest.raises(InstanceError, match="fingerprint mismatch"):
+            read_bundle(root)
+        # The importer-style read without verification still succeeds.
+        assert read_bundle(root, verify_fingerprint=False)
+
+    def test_non_monotone_costs_rejected_before_fingerprint(
+        self, tmp_path, bundle
+    ):
+        def transform(text):
+            lines = text.splitlines()
+            name, rest = lines[1].split(",", 1)
+            cells = rest.split(",")
+            cells[0] = "1e9"  # c0 above every later level
+            lines[1] = ",".join([name] + cells)
+            return "\n".join(lines) + "\n"
+
+        root = self.edited(tmp_path, bundle, "costs.csv", transform)
+        with pytest.raises(InstanceError, match="non-decreasing"):
+            read_bundle(root)
+
+    def test_count_mismatch(self, tmp_path, bundle):
+        def transform(text):
+            doc = json.loads(text)
+            doc["counts"]["calls"] += 1
+            return json.dumps(doc)
+
+        root = self.edited(tmp_path, bundle, "manifest.json", transform)
+        with pytest.raises(InstanceError, match="counts.calls"):
+            read_bundle(root)
+
+    def test_calls_naming_unknown_function(self, tmp_path, bundle):
+        def transform(text):
+            return text + "no-such-function\n"
+
+        root = self.edited(tmp_path, bundle, "calls.csv", transform)
+        with pytest.raises(InstanceError, match="^instance:"):
+            read_bundle(root)
+
+    def test_due_dates_naming_unknown_function(self, tmp_path, bundle):
+        def transform(text):
+            doc = json.loads(text)
+            doc["entries"]["ghost"] = {"due": 1.0, "weight": 1.0}
+            return json.dumps(doc)
+
+        root = self.edited(tmp_path, bundle, "due_dates.json", transform)
+        with pytest.raises(InstanceError, match="ghost"):
+            read_bundle(root)
+
+    def test_bad_compile_threads(self, tmp_path, bundle):
+        def transform(text):
+            doc = json.loads(text)
+            doc["compile_threads"] = 0
+            return json.dumps(doc)
+
+        root = self.edited(tmp_path, bundle, "machine.json", transform)
+        with pytest.raises(InstanceError, match="compile_threads"):
+            read_bundle(root)
+
+    def test_validate_bundle_is_strict_alias(self, tmp_path, bundle):
+        root = write_bundle(bundle, tmp_path / "b")
+        assert validate_bundle(root).instance == bundle.instance
+
+
+class TestListBundles:
+    def test_lists_children_sorted(self, tmp_path, instance):
+        for name in ("beta", "alpha"):
+            write_bundle(
+                InstanceBundle(instance=instance), tmp_path / name
+            )
+        (tmp_path / "not-a-bundle").mkdir()
+        rows = list_bundles(tmp_path)
+        assert [row["path"] for row in rows] == [
+            str(tmp_path / "alpha"),
+            str(tmp_path / "beta"),
+        ]
+        assert all("error" not in row for row in rows)
+
+    def test_root_may_be_a_bundle(self, tmp_path, instance):
+        write_bundle(InstanceBundle(instance=instance), tmp_path / "b")
+        rows = list_bundles(tmp_path / "b")
+        assert len(rows) == 1 and rows[0]["name"] == instance.name
+
+    def test_broken_bundle_reported_not_raised(self, tmp_path, instance):
+        root = write_bundle(
+            InstanceBundle(instance=instance), tmp_path / "b"
+        )
+        (root / "costs.csv").write_text("name,c0,e0\n", encoding="utf-8")
+        rows = list_bundles(tmp_path)
+        assert len(rows) == 1 and "error" in rows[0]
+
+
+class TestBundleObject:
+    def test_empty_due_table_normalized_to_none(self, instance):
+        bundle = InstanceBundle(instance=instance, due_dates=DueDateTable({}))
+        assert bundle.due_dates is None
+
+    def test_due_dates_validated_against_instance(self, instance):
+        with pytest.raises(InstanceError, match="^instance:"):
+            InstanceBundle(
+                instance=instance,
+                due_dates=DueDateTable({"ghost": (1.0, 1.0)}),
+            )
+
+    def test_bad_compile_threads(self, instance):
+        with pytest.raises(InstanceError, match="compile_threads"):
+            InstanceBundle(instance=instance, compile_threads=0)
+
+    def test_summary_shape(self, instance, due):
+        summary = InstanceBundle(instance=instance, due_dates=due).summary()
+        assert summary["functions"] == instance.num_functions
+        assert summary["calls"] == instance.num_calls
+        assert summary["due_dates"] == len(due)
+        assert len(summary["fingerprint"]) == 64
+
+    def test_format_constants(self):
+        assert FORMAT_NAME == "repro-instance"
+        assert FORMAT_VERSION == 1

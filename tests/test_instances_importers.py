@@ -1,0 +1,229 @@
+"""The external-workload importers (V8, JVM, SCC) against the committed
+fixture corpus: importing a fixture log must reproduce the committed
+bundle bitwise."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.instances import (
+    InstanceError,
+    bundle_from_jvm_log,
+    bundle_from_scc,
+    bundle_from_v8_log,
+    read_bundle,
+    write_bundle,
+)
+from repro.instances._seq import weighted_round_robin
+
+FIXTURES = Path(__file__).parent / "fixtures"
+IMPORTERS = FIXTURES / "importers"
+INSTANCES = FIXTURES / "instances"
+
+CORPUS = [
+    (
+        "v8-trace-opt",
+        lambda: bundle_from_v8_log(
+            IMPORTERS / "v8-trace-opt.log", name="v8-trace-opt"
+        ),
+    ),
+    (
+        "jvm-print-compilation",
+        lambda: bundle_from_jvm_log(
+            IMPORTERS / "jvm-print-compilation.log",
+            name="jvm-print-compilation",
+        ),
+    ),
+    (
+        "scc-small",
+        lambda: bundle_from_scc(
+            IMPORTERS / "scc-small_mc_env.json", name="scc-small"
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize("name,build", CORPUS, ids=[c[0] for c in CORPUS])
+class TestFixtureCorpus:
+    def test_committed_bundle_validates(self, name, build):
+        bundle = read_bundle(INSTANCES / name)
+        assert bundle.name == name
+
+    def test_reimport_matches_committed_bundle_bitwise(
+        self, tmp_path, name, build
+    ):
+        fresh = build()
+        root = write_bundle(fresh, tmp_path / name)
+        committed = INSTANCES / name
+        fresh_files = sorted(p.name for p in root.iterdir())
+        committed_files = sorted(p.name for p in committed.iterdir())
+        assert fresh_files == committed_files
+        for fname in committed_files:
+            assert (root / fname).read_bytes() == (
+                committed / fname
+            ).read_bytes(), fname
+
+    def test_fingerprint_matches_manifest(self, name, build):
+        manifest = json.loads(
+            (INSTANCES / name / "manifest.json").read_text(encoding="utf-8")
+        )
+        assert build().content_fingerprint() == manifest["content_fingerprint"]
+
+
+class TestV8Importer:
+    def test_functions_and_order(self):
+        bundle = bundle_from_v8_log(IMPORTERS / "v8-trace-opt.log")
+        assert sorted(bundle.instance.profiles) == [
+            "accumulate",
+            "formatRow",
+            "mainLoop",
+            "parseEntry",
+        ]
+        assert bundle.source == "v8-log"
+        assert bundle.time_unit == "ms"
+
+    def test_first_measurement_wins_after_deopt(self):
+        bundle = bundle_from_v8_log(IMPORTERS / "v8-trace-opt.log")
+        # mainLoop is re-optimized after a deopt; the first took-triple
+        # (0.319 + 1.106 + 0.033) is the one that sticks.
+        assert bundle.instance.profiles["mainLoop"].compile_times[1] == (
+            0.319 + 1.106 + 0.033
+        )
+
+    def test_marked_only_function_gets_single_level(self):
+        bundle = bundle_from_v8_log(IMPORTERS / "v8-trace-opt.log")
+        assert bundle.instance.profiles["formatRow"].num_levels == 1
+
+    def test_text_source(self):
+        text = (IMPORTERS / "v8-trace-opt.log").read_text(encoding="utf-8")
+        from_text = bundle_from_v8_log(text, name="x", from_file=False)
+        from_file = bundle_from_v8_log(
+            IMPORTERS / "v8-trace-opt.log", name="x"
+        )
+        assert from_text.instance == from_file.instance
+
+    def test_no_events_is_an_instance_error(self):
+        with pytest.raises(InstanceError, match="^instance: v8 log"):
+            bundle_from_v8_log("plain program output\n", from_file=False)
+
+
+class TestJvmImporter:
+    def test_levels_follow_max_tier(self):
+        bundle = bundle_from_jvm_log(IMPORTERS / "jvm-print-compilation.log")
+        assert bundle.source == "jvm-log"
+        # Max tier in the log is 4, so every profile has 4 levels.
+        assert all(
+            p.num_levels == 4 for p in bundle.instance.profiles.values()
+        )
+
+    def test_osr_and_flagged_lines_parse(self):
+        bundle = bundle_from_jvm_log(IMPORTERS / "jvm-print-compilation.log")
+        profiles = bundle.instance.profiles
+        assert "com.example.Loop::main" in profiles  # `%` OSR + `@ 2`
+        assert "java.lang.StringBuffer::append" in profiles  # `s` flag
+        assert "java.io.BufferedReader::readLine" in profiles  # `!` flag
+
+    def test_hotter_tier_means_more_calls(self):
+        bundle = bundle_from_jvm_log(IMPORTERS / "jvm-print-compilation.log")
+        calls = list(bundle.instance.calls)
+        # hashCode reached tier 4, Util::clamp only tier 2.
+        assert calls.count("java.lang.String::hashCode") > calls.count(
+            "com.example.Util::clamp"
+        )
+
+    def test_no_events_is_an_instance_error(self):
+        with pytest.raises(InstanceError, match="^instance: jvm log"):
+            bundle_from_jvm_log("no compiles here\n", from_file=False)
+
+
+class TestSccImporter:
+    def copy_fixture(self, tmp_path, skip=()):
+        for path in IMPORTERS.glob("scc-small_*"):
+            if path.name in skip:
+                continue
+            (tmp_path / path.name).write_bytes(path.read_bytes())
+        return tmp_path
+
+    def test_directory_resolution(self, tmp_path):
+        root = self.copy_fixture(tmp_path)
+        bundle = bundle_from_scc(root)
+        assert bundle.name == "scc-small"
+        assert bundle.compile_threads == 2  # converter stage machines
+        assert bundle.due_dates is not None and len(bundle.due_dates) == 5
+
+    def test_prefix_and_any_member_file_resolve_alike(self, tmp_path):
+        root = self.copy_fixture(tmp_path)
+        by_prefix = bundle_from_scc(root / "scc-small")
+        by_pt = bundle_from_scc(root / "scc-small_pt.csv")
+        assert by_prefix.instance == by_pt.instance
+
+    def test_calls_follow_cast_order(self):
+        bundle = bundle_from_scc(IMPORTERS / "scc-small_mc_env.json")
+        assert bundle.instance.calls == (
+            "ch01", "ch02", "ch03", "ch04", "ch05", "ch01", "ch04",
+        )
+
+    def test_level_costs_are_the_stage_split(self):
+        bundle = bundle_from_scc(IMPORTERS / "scc-small_mc_env.json")
+        prof = bundle.instance.profiles["ch01"]  # 3.0, 2.0, 1.5
+        assert prof.compile_times == (0.0, 3.0)
+        assert prof.exec_times == (6.5, 3.5)
+
+    def test_due_dates_missing_file_is_optional(self, tmp_path):
+        root = self.copy_fixture(tmp_path, skip={"scc-small_duedate.json"})
+        assert bundle_from_scc(root).due_dates is None
+
+    def test_missing_required_file(self, tmp_path):
+        root = self.copy_fixture(tmp_path, skip={"scc-small_pt.csv"})
+        with pytest.raises(InstanceError, match="missing file"):
+            bundle_from_scc(root)
+
+    def test_two_instances_in_one_directory(self, tmp_path):
+        root = self.copy_fixture(tmp_path)
+        (root / "other_mc_env.json").write_text("{}", encoding="utf-8")
+        with pytest.raises(InstanceError, match="several instances"):
+            bundle_from_scc(root)
+
+    def test_cast_referencing_unknown_charge(self, tmp_path):
+        root = self.copy_fixture(tmp_path)
+        (root / "scc-small_cast.json").write_text(
+            json.dumps({"casts": [["ch01", "ch99"]]}), encoding="utf-8"
+        )
+        with pytest.raises(InstanceError, match="ch99"):
+            bundle_from_scc(root)
+
+    def test_stage_mismatch_between_env_and_pt(self, tmp_path):
+        root = self.copy_fixture(tmp_path)
+        (root / "scc-small_mc_env.json").write_text(
+            json.dumps({"stages": {"melt": 1, "cast": 1}}), encoding="utf-8"
+        )
+        with pytest.raises(InstanceError, match="do not match"):
+            bundle_from_scc(root)
+
+    def test_negative_processing_time(self, tmp_path):
+        root = self.copy_fixture(tmp_path)
+        pt = root / "scc-small_pt.csv"
+        pt.write_text(
+            pt.read_text(encoding="utf-8").replace("3.0,2.0,1.5", "-3.0,2.0,1.5"),
+            encoding="utf-8",
+        )
+        with pytest.raises(InstanceError, match="finite and >= 0"):
+            bundle_from_scc(root)
+
+
+class TestWeightedRoundRobin:
+    def test_interleaves_in_rounds(self):
+        assert weighted_round_robin([("a", 3), ("b", 1), ("c", 2)]) == (
+            "a", "b", "c", "a", "c", "a",
+        )
+
+    def test_zero_weight_skipped(self):
+        assert weighted_round_robin([("a", 0), ("b", 2)]) == ("b", "b")
+
+    def test_empty(self):
+        assert weighted_round_robin([]) == ()
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            weighted_round_robin([("a", -1)])

@@ -1,0 +1,287 @@
+"""Property-based and fuzz tests for the instance format.
+
+Round-trip: any valid bundle written to disk reads back as the exact
+same instance, with identical simulate() counters on every engine.
+Fuzz: corrupt manifests and CSVs never leak raw exceptions — every
+failure is an :class:`InstanceError` with the ``instance:`` prefix
+(mirroring ``tests/test_traces_hardening.py``).
+"""
+
+import json
+import random
+from typing import Dict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DueDateTable, FunctionProfile, OCSPInstance, Schedule, simulate
+from repro.core.engine import ENGINES
+from repro.instances import InstanceBundle, InstanceError, read_bundle, write_bundle
+
+times = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def bundles(draw, max_functions=4, max_levels=3, max_calls=10):
+    n_funcs = draw(st.integers(min_value=1, max_value=max_functions))
+    profiles: Dict[str, FunctionProfile] = {}
+    for i in range(n_funcs):
+        n_levels = draw(st.integers(min_value=1, max_value=max_levels))
+        compile_times = sorted(
+            draw(st.lists(times, min_size=n_levels, max_size=n_levels))
+        )
+        exec_times = sorted(
+            draw(st.lists(times, min_size=n_levels, max_size=n_levels)),
+            reverse=True,
+        )
+        name = f"f{i}"
+        profiles[name] = FunctionProfile(
+            name, tuple(compile_times), tuple(exec_times)
+        )
+    names = sorted(profiles)
+    calls = draw(
+        st.lists(st.sampled_from(names), min_size=1, max_size=max_calls)
+    )
+    due = None
+    if draw(st.booleans()):
+        dued = draw(
+            st.lists(st.sampled_from(names), min_size=1, unique=True)
+        )
+        due = DueDateTable(
+            {
+                f: (
+                    draw(st.floats(min_value=0.0, max_value=500.0)),
+                    draw(st.floats(min_value=0.0, max_value=9.0)),
+                )
+                for f in dued
+            }
+        )
+    return InstanceBundle(
+        instance=OCSPInstance(profiles, tuple(calls), name="prop"),
+        due_dates=due,
+        source="synthetic",
+        compile_threads=draw(st.integers(min_value=1, max_value=3)),
+    )
+
+
+def base_schedule(instance):
+    return Schedule.of(
+        *((f, 0) for f in sorted(instance.called_functions))
+    )
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(bundle=bundles())
+    def test_read_back_is_exact(self, tmp_path_factory, bundle):
+        root = tmp_path_factory.mktemp("rt")
+        write_bundle(bundle, root / "b")
+        back = read_bundle(root / "b")
+        assert back.instance == bundle.instance
+        assert back.due_dates == bundle.due_dates
+        assert back.compile_threads == bundle.compile_threads
+        assert back.content_fingerprint() == bundle.content_fingerprint()
+
+    @settings(max_examples=30, deadline=None)
+    @given(bundle=bundles())
+    def test_double_export_is_byte_identical(self, tmp_path_factory, bundle):
+        root = tmp_path_factory.mktemp("dbl")
+        a = write_bundle(bundle, root / "a")
+        b = write_bundle(read_bundle(a), root / "b")
+        for path in sorted(a.iterdir()):
+            assert path.read_bytes() == (b / path.name).read_bytes()
+
+    @settings(max_examples=25, deadline=None)
+    @given(bundle=bundles())
+    def test_simulate_counters_identical_across_engines(
+        self, tmp_path_factory, bundle
+    ):
+        root = tmp_path_factory.mktemp("sim")
+        write_bundle(bundle, root / "b")
+        back = read_bundle(root / "b")
+        schedule = base_schedule(bundle.instance)
+        results = {}
+        for engine in ENGINES:
+            a = simulate(
+                bundle.instance,
+                schedule,
+                compile_threads=bundle.compile_threads,
+                engine=engine,
+            )
+            b = simulate(
+                back.instance,
+                schedule,
+                compile_threads=back.compile_threads,
+                engine=engine,
+            )
+            assert a.makespan == b.makespan
+            assert a.calls_at_level == b.calls_at_level
+            assert a.total_exec_time == b.total_exec_time
+            results[engine] = a.makespan
+        assert len(set(results.values())) == 1
+
+
+@pytest.fixture(scope="module")
+def valid_root(tmp_path_factory):
+    profiles = {
+        "f0": FunctionProfile("f0", (1.0, 4.0), (3.0, 1.0)),
+        "f1": FunctionProfile("f1", (2.0,), (5.0,)),
+    }
+    instance = OCSPInstance(profiles, ("f0", "f1", "f0"), name="fuzz")
+    bundle = InstanceBundle(
+        instance=instance,
+        due_dates=DueDateTable({"f0": (9.0, 2.0)}),
+    )
+    root = tmp_path_factory.mktemp("fuzz")
+    return write_bundle(bundle, root / "b")
+
+
+def copy_bundle(valid_root, tmp_path):
+    dst = tmp_path / "b"
+    dst.mkdir()
+    for path in valid_root.iterdir():
+        (dst / path.name).write_bytes(path.read_bytes())
+    return dst
+
+
+class TestManifestFuzz:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "{not json", "[1, 2]", '"str"', "null", "\x00\x01"],
+    )
+    def test_bad_manifest_documents(self, valid_root, tmp_path, text):
+        root = copy_bundle(valid_root, tmp_path)
+        (root / "manifest.json").write_text(text, encoding="utf-8")
+        with pytest.raises(InstanceError, match="^instance:"):
+            read_bundle(root)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("format"),
+            lambda d: d.update(format=1),
+            lambda d: d.pop("format_version"),
+            lambda d: d.update(format_version="1"),
+            lambda d: d.update(format_version=None),
+            lambda d: d.pop("name"),
+            lambda d: d.update(name=""),
+            lambda d: d.update(name=7),
+            lambda d: d.update(source=""),
+            lambda d: d.pop("files"),
+            lambda d: d.update(files=[]),
+            lambda d: d["files"].pop("costs"),
+            lambda d: d["files"].update(costs=""),
+            lambda d: d["files"].update(costs=3),
+            lambda d: d["files"].update(costs="/etc/passwd"),
+            lambda d: d["files"].update(costs="sub/dir.csv"),
+            lambda d: d["counts"].update(functions=99),
+            lambda d: d["counts"].update(levels=0),
+            lambda d: d.update(content_fingerprint="deadbeef"),
+        ],
+    )
+    def test_mutated_manifests(self, valid_root, tmp_path, mutate):
+        root = copy_bundle(valid_root, tmp_path)
+        doc = json.loads((root / "manifest.json").read_text(encoding="utf-8"))
+        mutate(doc)
+        (root / "manifest.json").write_text(json.dumps(doc), encoding="utf-8")
+        with pytest.raises(InstanceError, match="^instance:"):
+            read_bundle(root)
+
+    def test_fuzz_random_manifest_bytes(self, valid_root, tmp_path):
+        rng = random.Random(0)
+        root = copy_bundle(valid_root, tmp_path)
+        for _ in range(150):
+            text = "".join(
+                chr(rng.randrange(32, 127))
+                for _ in range(rng.randrange(0, 60))
+            )
+            (root / "manifest.json").write_text(text, encoding="utf-8")
+            with pytest.raises(InstanceError, match="^instance:"):
+                read_bundle(root)
+
+
+class TestCsvFuzz:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "wrong,header\n",
+            "name,c0,e0\n",  # no data rows
+            "name,c0,e0\nf0\n",  # short row
+            "name,c0,e0\nf0,1.0,2.0,3.0\n",  # long row
+            "name,c0,e0\n,1.0,2.0\n",  # empty name
+            "name,c0,e0\nf0,1.0,2.0\nf0,1.0,2.0\n",  # duplicate
+            "name,c0,e0\nf0,fast,2.0\n",  # non-numeric
+            "name,c0,e0\nf0,nan,2.0\n",
+            "name,c0,e0\nf0,inf,2.0\n",
+            "name,c0,e0\nf0,-1.0,2.0\n",  # negative cost
+            "name,c0,c1,e0,e1\nf0,,1.0,2.0,\n",  # ragged prefix
+            "name,c0,c1,e0,e1\nf0,1.0,,2.0,3.0\n",  # mismatched c/e
+            "name,c0,c1,e0,e1\nf0,,,,\n",  # no levels at all
+        ],
+    )
+    def test_bad_costs(self, valid_root, tmp_path, text):
+        root = copy_bundle(valid_root, tmp_path)
+        (root / "costs.csv").write_text(text, encoding="utf-8")
+        with pytest.raises(InstanceError, match="^instance:"):
+            read_bundle(root)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "wrong\nf0\n",
+            "call\nf0,extra\n",
+            "call\nghost\n",  # unknown function
+        ],
+    )
+    def test_bad_calls(self, valid_root, tmp_path, text):
+        root = copy_bundle(valid_root, tmp_path)
+        (root / "calls.csv").write_text(text, encoding="utf-8")
+        with pytest.raises(InstanceError, match="^instance:"):
+            read_bundle(root)
+
+    def test_fuzz_random_csv_bytes(self, valid_root, tmp_path):
+        rng = random.Random(1)
+        root = copy_bundle(valid_root, tmp_path)
+        original = (root / "costs.csv").read_text(encoding="utf-8")
+        hits = 0
+        for _ in range(150):
+            text = "".join(
+                chr(rng.randrange(32, 127))
+                for _ in range(rng.randrange(0, 80))
+            )
+            (root / "costs.csv").write_text(text, encoding="utf-8")
+            try:
+                read_bundle(root)
+            except InstanceError:
+                hits += 1
+            finally:
+                pass
+        assert hits == 150  # random junk never parses as valid costs
+        (root / "costs.csv").write_text(original, encoding="utf-8")
+        assert read_bundle(root)
+
+
+class TestDueDatesFuzz:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "{not json",
+            "[1]",
+            "{}",
+            '{"entries": []}',
+            '{"entries": {"f0": 1.0}}',  # entry must be an object
+            '{"entries": {"f0": {"weight": 1.0}}}',  # missing due
+            '{"entries": {"f0": {"due": true, "weight": 1.0}}}',
+            '{"entries": {"f0": {"due": -1.0, "weight": 1.0}}}',
+            '{"entries": {"f0": {"due": 1.0, "weight": -2.0}}}',
+            '{"entries": {"ghost": {"due": 1.0, "weight": 1.0}}}',
+        ],
+    )
+    def test_bad_due_dates(self, valid_root, tmp_path, text):
+        root = copy_bundle(valid_root, tmp_path)
+        (root / "due_dates.json").write_text(text, encoding="utf-8")
+        with pytest.raises(InstanceError, match="^instance:"):
+            read_bundle(root)

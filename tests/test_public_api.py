@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.observability",
     "repro.perf",
+    "repro.instances",
     "repro.cli",
 ]
 
@@ -38,6 +39,8 @@ MODULES = [
     "repro.observability.export", "repro.observability.instrument",
     "repro.perf.harness", "repro.perf.baseline", "repro.perf.compare",
     "repro.perf.report", "repro.perf.suites",
+    "repro.instances.format", "repro.instances.v8log",
+    "repro.instances.jvmlog", "repro.instances.scc",
 ]
 
 
