@@ -25,9 +25,17 @@ Subcommands mirror the library's workflow:
   ``docs/ROBUSTNESS.md``), and ``--faults SPEC`` on
   ``evaluate``/``diagnose``/``study`` runs those commands degraded;
 * ``serve`` — the multi-tenant online decision service: ``run``
-  starts the asyncio JSONL server, ``replay`` load-drives it with
+  starts the asyncio JSONL server (with the wall-clock telemetry plane
+  and ``/healthz``/``/statusz``/``/metricsz``/``/flightz`` admin
+  endpoints on the same port), ``replay`` load-drives it with
   interleaved DaCapo traces and reports decisions/sec + p99 latency
-  (deterministic decision logs; see ``docs/SERVICE.md``);
+  (deterministic decision logs, bitwise identical with telemetry on or
+  off; see ``docs/SERVICE.md``);
+* ``top`` — one-shot or ``--interval`` terminal view of a live
+  server's ``/statusz``: uptime, queue depth, per-tenant SLOs;
+* ``telemetry`` — ``inspect`` reads a flight-recorder bundle (the
+  black-box dump a server writes on crash, SIGUSR1, ``/flightz/dump``,
+  or drain);
 * ``instances`` — the versioned on-disk instance format:
   ``export`` writes a trace/benchmark as a canonical bundle,
   ``import`` builds bundles from external sources (V8 ``--trace-opt``
@@ -464,6 +472,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=0,
         help="listen port (default: 0 = kernel-assigned, printed on start)",
     )
+    srun.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable the wall-clock telemetry plane (admin endpoints "
+        "answer 409/empty; decision logs are bitwise identical either "
+        "way)",
+    )
+    srun.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the final status (summary, SLOs, telemetry "
+        "snapshot) as JSON when the server stops",
+    )
     srep = serve_sub.add_parser(
         "replay",
         help="load-drive the service with interleaved DaCapo traces",
@@ -514,7 +533,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-out", default=None, metavar="PATH",
         help="write the replay report (rates, latency stats) as JSON",
     )
+    srep.add_argument(
+        "--telemetry", action="store_true",
+        help="attach the wall-clock telemetry plane (per-tenant SLOs "
+        "in the report; the decision log stays bitwise identical)",
+    )
     for sp in (srun, srep):
+        sp.add_argument(
+            "--flight-dir", default=None, metavar="DIR",
+            help="write flight-recorder bundles here (on crash, "
+            "SIGUSR1, /flightz/dump, and drain); requires telemetry",
+        )
+        sp.add_argument(
+            "--flight-capacity", type=int, default=256,
+            help="flight-recorder ring size per shard (last N "
+            "request+decision pairs)",
+        )
+        sp.add_argument(
+            "--slo-window", type=float, default=60.0,
+            help="sliding-window seconds for live per-tenant SLOs",
+        )
         sp.add_argument(
             "--faults", default=None, metavar="SPEC",
             help="fault spec (key=value,...) injected on the serving "
@@ -554,6 +592,47 @@ def build_parser() -> argparse.ArgumentParser:
             help="queued requests beyond which new ones are refused "
             "with a retryable 'overloaded' error",
         )
+
+    top = sub.add_parser(
+        "top",
+        help="terminal view of a live server's /statusz (uptime, "
+        "queue, per-tenant SLOs)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, required=True)
+    top.add_argument(
+        "--interval", type=float, default=None, metavar="SECONDS",
+        help="refresh every SECONDS (default: one shot)",
+    )
+    top.add_argument(
+        "--count", type=int, default=0,
+        help="with --interval: stop after N refreshes (0 = forever)",
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help="print the raw /statusz JSON instead of the table",
+    )
+
+    telemetry = sub.add_parser(
+        "telemetry", help="read wall-clock telemetry artifacts"
+    )
+    telemetry_sub = telemetry.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    tins = telemetry_sub.add_parser(
+        "inspect",
+        help="read a flight-recorder JSONL bundle (header, per-tenant "
+        "and per-action tallies, most recent entries)",
+    )
+    tins.add_argument("path", help="a flight-*.jsonl bundle")
+    tins.add_argument(
+        "--last", type=int, default=10,
+        help="show the last N entries (default 10; 0 = none)",
+    )
+    tins.add_argument(
+        "--json", action="store_true",
+        help="print the whole bundle as one JSON document",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect/maintain a result cache directory"
@@ -1288,12 +1367,30 @@ def _make_service_engine(args: argparse.Namespace):
         max_tenants=args.max_tenants,
     )
     cache = None if args.no_decision_cache else DecisionCache()
+    telemetry = None
+    # `serve run` attaches the wall-clock plane unless --no-telemetry;
+    # `serve replay` attaches it only on --telemetry (the replay is a
+    # measurement tool first, and the default stays minimal).
+    if args.serve_command == "run":
+        enabled = not args.no_telemetry
+    else:
+        enabled = args.telemetry
+    if enabled:
+        from .telemetry import ServiceTelemetry
+
+        telemetry = ServiceTelemetry(
+            shards=args.shards,
+            flight_capacity=args.flight_capacity,
+            flight_dir=args.flight_dir,
+            slo_window_s=args.slo_window,
+        )
     engine = DecisionEngine(
         policy=policy,
         shards=args.shards,
         faults=args.faults,
         cache=cache,
         metrics=metrics,
+        telemetry=telemetry,
     )
     return engine, metrics
 
@@ -1315,17 +1412,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _serve_run(args: argparse.Namespace, config) -> int:
     import asyncio
+    import json
+    import signal
 
     from .service import DecisionServer
 
     engine, _metrics = _make_service_engine(args)
+    telemetry = engine.telemetry
+
+    def _dump_flight(reason: str) -> None:
+        if telemetry is None:
+            return
+        path = telemetry.dump_flight(reason)
+        if path is not None:
+            print(f"repro serve: flight recorder wrote {path}", flush=True)
+
+    def _write_status(server) -> None:
+        if args.json_out is None:
+            return
+        doc = {
+            "summary": engine.summary(),
+            "rejected": server.rejected,
+            "max_batch_seen": server.max_batch_seen,
+        }
+        if telemetry is not None:
+            doc["uptime_s"] = telemetry.uptime_s()
+            doc["slo"] = telemetry.slo.snapshot()
+            doc["flight"] = telemetry.flight.snapshot()
+            doc["metrics"] = telemetry.snapshot()
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
 
     async def _run() -> None:
         server = DecisionServer(engine, config)
         await server.start()
+        if telemetry is not None and hasattr(signal, "SIGUSR1"):
+            # SIGUSR-style black-box trigger: dump the flight rings
+            # without disturbing the server.
+            try:
+                asyncio.get_running_loop().add_signal_handler(
+                    signal.SIGUSR1, _dump_flight, "sigusr1"
+                )
+            except (NotImplementedError, RuntimeError):
+                pass
+        admin_note = (
+            " admin: /healthz /statusz /metricsz /flightz;"
+            if telemetry is not None
+            else ""
+        )
         print(
             f"repro serve: listening on {config.host}:{server.port} "
-            f"(JSONL; send {{\"op\": \"shutdown\"}} to stop)",
+            f"(JSONL;{admin_note} send {{\"op\": \"shutdown\"}} to stop)",
             flush=True,
         )
         await server.serve_until_stopped()
@@ -1335,12 +1474,19 @@ def _serve_run(args: argparse.Namespace, config) -> int:
             f"{summary['decisions']} decisions "
             f"({server.rejected} rejected)"
         )
+        _write_status(server)
 
     try:
         asyncio.run(_run())
     except KeyboardInterrupt:
+        _dump_flight("interrupt")
         print("repro serve: interrupted", file=sys.stderr)
         return 130
+    except Exception:
+        # The black box earns its name here: dump the last N decisions
+        # before the crash propagates.
+        _dump_flight("crash")
+        raise
     return 0
 
 
@@ -1403,6 +1549,14 @@ def _serve_replay(args: argparse.Namespace, config) -> int:
     faults_summary = summary.get("faults")
     if faults_summary:
         print(f"faults: {faults_summary}")
+    if report.slo:
+        worst = max(
+            (tenant["p99_ms"] or 0.0) for tenant in report.slo.values()
+        )
+        print(
+            f"slo: {len(report.slo)} tenants tracked, "
+            f"worst p99 {worst:.3f} ms (telemetry plane)"
+        )
     if args.decisions_out is not None:
         print(f"wrote {args.decisions_out}")
     if args.json_out is not None:
@@ -1410,6 +1564,138 @@ def _serve_replay(args: argparse.Namespace, config) -> int:
             json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.json_out}")
+    return 0
+
+
+def _render_top(doc: Dict[str, object]) -> None:
+    """One ``repro top`` frame from a ``/statusz`` document."""
+    summary = doc.get("summary", {})
+    queue = doc.get("queue", {})
+    uptime = doc.get("uptime_s")
+    uptime_note = f"{uptime:.1f}s" if isinstance(uptime, float) else "n/a"
+    draining = "yes" if doc.get("draining") else "no"
+    print(
+        f"uptime {uptime_note}  tenants {summary.get('tenants', 0)}  "
+        f"events {summary.get('events', 0)}  "
+        f"decisions {summary.get('decisions', 0)}  "
+        f"queue {queue.get('depth', 0)}/{queue.get('limit', 0)}  "
+        f"rejected {doc.get('rejected', 0)}  draining {draining}"
+    )
+    occupancy = doc.get("shard_occupancy")
+    if occupancy:
+        print(f"shard occupancy: {occupancy}")
+    slo = doc.get("slo")
+    if not slo:
+        print("(no per-tenant SLOs: telemetry disabled or no decisions yet)")
+        return
+    header = (
+        f"{'tenant':<24} {'decs':>8} {'rejs':>6} {'rej%':>6} "
+        f"{'p50ms':>9} {'p99ms':>9} {'w.p99ms':>9}"
+    )
+    print(header)
+
+    def _ms(value) -> str:
+        return f"{value:.3f}" if isinstance(value, (int, float)) else "-"
+
+    for tenant in sorted(slo):
+        row = slo[tenant]
+        window = row.get("window", {})
+        print(
+            f"{tenant:<24} {row.get('decisions', 0):>8} "
+            f"{row.get('rejections', 0):>6} "
+            f"{100.0 * row.get('rejection_rate', 0.0):>5.1f}% "
+            f"{_ms(row.get('p50_ms')):>9} {_ms(row.get('p99_ms')):>9} "
+            f"{_ms(window.get('p99_ms')):>9}"
+        )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .telemetry import http_get
+
+    iterations = 0
+    while True:
+        status, body = http_get(args.host, args.port, "/statusz")
+        if status != 200:
+            raise ValueError(
+                f"/statusz answered HTTP {status}: "
+                f"{body.decode('utf-8', 'replace').strip()}"
+            )
+        doc = json.loads(body.decode("utf-8"))
+        if args.json:
+            print(json.dumps(doc, sort_keys=True))
+        else:
+            if iterations:
+                print()
+            _render_top(doc)
+        iterations += 1
+        if args.interval is None:
+            break
+        if args.count and iterations >= args.count:
+            break
+        time.sleep(args.interval)
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    import json
+    from collections import Counter
+
+    from .telemetry import read_flight_bundle
+
+    header, entries = read_flight_bundle(args.path)
+    if args.json:
+        print(
+            json.dumps(
+                {"header": header, "entries": entries}, sort_keys=True
+            )
+        )
+        return 0
+    print(
+        f"flight bundle: reason={header['reason']} "
+        f"created={header['created']} shards={header['shards']} "
+        f"capacity={header['capacity']}"
+    )
+    print(
+        f"recorded {header['recorded']} decisions over the run, "
+        f"{len(entries)} retained in the rings"
+    )
+    tenants = Counter()
+    actions = Counter()
+    faults = Counter()
+    for entry in entries:
+        decision = entry.get("decision", {})
+        tenants[str(decision.get("tenant"))] += 1
+        actions[str(decision.get("action"))] += 1
+        for key, value in (entry.get("faults") or {}).items():
+            faults[key] = max(faults[key], int(value))
+    if actions:
+        joined = "  ".join(
+            f"{action}={count}" for action, count in sorted(actions.items())
+        )
+        print(f"actions: {joined}")
+    if tenants:
+        print(f"tenants: {len(tenants)}")
+        for tenant, count in sorted(tenants.items()):
+            print(f"  {tenant:<24} {count:>6}")
+    if faults:
+        joined = "  ".join(
+            f"{key}={count}" for key, count in sorted(faults.items())
+        )
+        print(f"fault tallies (max seen): {joined}")
+    if args.last:
+        print(f"last {min(args.last, len(entries))} entries:")
+        for entry in entries[-args.last:]:
+            decision = entry.get("decision", {})
+            print(
+                f"  #{entry.get('order')} shard={entry.get('shard')} "
+                f"corr={entry.get('corr')} "
+                f"{decision.get('function')} -> {decision.get('action')} "
+                f"L{decision.get('level')} "
+                f"(attempts {decision.get('attempts')})"
+            )
     return 0
 
 
@@ -1430,6 +1716,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "import-trace": _cmd_import_trace,
         "instances": _cmd_instances,
         "serve": _cmd_serve,
+        "top": _cmd_top,
+        "telemetry": _cmd_telemetry,
         "walkthrough": _cmd_walkthrough,
     }
     try:

@@ -27,6 +27,7 @@ from .tracer import TraceError, TraceEvent, Tracer, TraceScope
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .export import (
     TraceValidationError,
+    iter_chrome_records,
     iter_jsonl,
     to_chrome_trace,
     validate_chrome_trace,
@@ -45,6 +46,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "to_chrome_trace",
+    "iter_chrome_records",
     "write_chrome_trace",
     "iter_jsonl",
     "write_jsonl",

@@ -13,6 +13,14 @@ Two on-disk formats:
 * **JSONL** (``iter_jsonl`` / ``write_jsonl``) — one plain-dict event
   per line, for ad-hoc filtering with standard text tools.
 
+Both writers stream: ``write_chrome_trace`` serializes one record at a
+time through :func:`iter_chrome_records` and ``write_jsonl`` through
+:func:`iter_jsonl`, so exporting a full-length scale-1.0 run holds one
+record in memory, not a second copy of the whole event list (the sort
+behind the Chrome ordering keeps event *references* only).
+``to_chrome_trace`` still returns the fully materialized object for
+callers that want to inspect it.
+
 ``validate_chrome_trace`` is the schema check used by the tests and the
 CI smoke job: well-formed JSON, required per-phase keys, finite
 non-negative timestamps, monotone ``ts`` and non-overlapping ``"X"``
@@ -30,6 +38,7 @@ from .tracer import Tracer, TraceScope
 __all__ = [
     "TraceValidationError",
     "to_chrome_trace",
+    "iter_chrome_records",
     "write_chrome_trace",
     "iter_jsonl",
     "write_jsonl",
@@ -52,19 +61,23 @@ def _split_track(track: str) -> Tuple[str, str]:
     return "repro", track
 
 
-def to_chrome_trace(tracer: _TracerLike) -> Dict[str, Any]:
-    """Render a tracer's events as a Chrome trace-event JSON object.
+def iter_chrome_records(tracer: _TracerLike) -> Iterator[Dict[str, Any]]:
+    """Yield Chrome trace records: ``"M"`` metadata first (in order of
+    first appearance), then body events in virtual-time order.
 
-    Raises :class:`~repro.observability.tracer.TraceError` if any
-    begin/end span is still open.
+    Only one body record exists at a time — the virtual-time ordering
+    sorts event *references*, and each dict is yielded as soon as it is
+    built — which is what gives :func:`write_chrome_trace` bounded
+    memory on full-length runs.  Raises
+    :class:`~repro.observability.tracer.TraceError` if any begin/end
+    span is still open.
     """
     tracer.assert_closed()
+    ordered = sorted(tracer.events, key=lambda e: (e.start, e.end))
     pids: Dict[str, int] = {}
     tids: Dict[Tuple[str, str], int] = {}
     meta: List[Dict[str, Any]] = []
-    body: List[Dict[str, Any]] = []
-
-    for event in sorted(tracer.events, key=lambda e: (e.start, e.end)):
+    for event in ordered:
         process, lane = _split_track(event.track)
         pid = pids.get(process)
         if pid is None:
@@ -79,8 +92,7 @@ def to_chrome_trace(tracer: _TracerLike) -> Dict[str, Any]:
                     "args": {"name": process},
                 }
             )
-        tid = tids.get((process, lane))
-        if tid is None:
+        if (process, lane) not in tids:
             tid = sum(1 for p, _ in tids if p == process) + 1
             tids[(process, lane)] = tid
             meta.append(
@@ -92,12 +104,16 @@ def to_chrome_trace(tracer: _TracerLike) -> Dict[str, Any]:
                     "args": {"name": lane},
                 }
             )
+    for record in meta:
+        yield record
 
+    for event in ordered:
+        process, lane = _split_track(event.track)
         record: Dict[str, Any] = {
             "name": event.name,
             "cat": event.category,
-            "pid": pid,
-            "tid": tid,
+            "pid": pids[process],
+            "tid": tids[(process, lane)],
             "ts": event.start,
         }
         if event.kind == "span":
@@ -113,10 +129,19 @@ def to_chrome_trace(tracer: _TracerLike) -> Dict[str, Any]:
             raise TraceValidationError(f"unknown event kind {event.kind!r}")
         if event.args is not None and event.kind != "counter":
             record["args"] = dict(event.args)
-        body.append(record)
+        yield record
 
+
+def to_chrome_trace(tracer: _TracerLike) -> Dict[str, Any]:
+    """Render a tracer's events as a Chrome trace-event JSON object.
+
+    Materializes the whole record list — use :func:`write_chrome_trace`
+    (which streams) for large traces.  Raises
+    :class:`~repro.observability.tracer.TraceError` if any begin/end
+    span is still open.
+    """
     return {
-        "traceEvents": meta + body,
+        "traceEvents": list(iter_chrome_records(tracer)),
         "displayTimeUnit": "ms",
         "otherData": {"producer": "repro.observability"},
     }
@@ -124,11 +149,23 @@ def to_chrome_trace(tracer: _TracerLike) -> Dict[str, Any]:
 
 def write_chrome_trace(tracer: _TracerLike, path: str) -> int:
     """Write Chrome trace JSON to ``path``; returns the event count
-    (excluding metadata records)."""
-    data = to_chrome_trace(tracer)
+    (excluding metadata records).
+
+    Streams one record per line inside the ``traceEvents`` array, so
+    peak memory is one serialized record plus the reference sort — not
+    a second copy of the event list.
+    """
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(data, fh, indent=1)
-        fh.write("\n")
+        fh.write('{\n"displayTimeUnit": "ms",\n')
+        fh.write('"otherData": {"producer": "repro.observability"},\n')
+        fh.write('"traceEvents": [\n')
+        first = True
+        for record in iter_chrome_records(tracer):
+            if not first:
+                fh.write(",\n")
+            fh.write(json.dumps(record, sort_keys=True))
+            first = False
+        fh.write("\n]\n}\n")
     return len(tracer.events)
 
 

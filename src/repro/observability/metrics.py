@@ -145,11 +145,18 @@ class MetricsRegistry:
         """The instrument registered under ``name``, or ``None``."""
         return self._metrics.get(name)
 
-    def snapshot(self) -> Dict[str, object]:
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, object]:
         """Plain-data view: name → value (counters/gauges) or summary
-        dict (histograms), sorted by name."""
+        dict (histograms), sorted by name.  ``prefix`` restricts the
+        view to names starting with it (e.g. ``"service."``)."""
         out: Dict[str, object] = {}
         for name in sorted(self._metrics):
+            if prefix is not None and not name.startswith(prefix):
+                continue
             metric = self._metrics[name]
             if isinstance(metric, Histogram):
                 out[name] = {

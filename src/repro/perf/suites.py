@@ -459,3 +459,41 @@ def _bench_service_decisions(scale: float):
         assert report.decisions > 0
 
     return fn
+
+
+@register(
+    "service_telemetry",
+    suites=("quick", "telemetry"),
+    description=(
+        "decision service with the wall-clock telemetry plane attached: "
+        "same replay as service_decisions plus tagged metrics, SLO "
+        "windows, and the flight recorder"
+    ),
+)
+def _bench_service_telemetry(scale: float):
+    from ..service import DecisionCache, DecisionEngine, run_replay
+    from ..telemetry import ServiceTelemetry
+    from ..service.driver import generate_events
+
+    events = generate_events(
+        tenants=8,
+        events=max(200, int(100_000 * scale)),
+        scale=max(0.002, scale),
+        seed=0,
+    )
+
+    def fn(metrics: MetricsRegistry) -> None:
+        # The counters gated by the committed baseline come from the
+        # engine's deterministic registry; the plane keeps its own
+        # registries, so they must stay identical to service_decisions'.
+        engine = DecisionEngine(
+            faults="compile_fail=0.1,seed=3",
+            cache=DecisionCache(),
+            metrics=metrics,
+            telemetry=ServiceTelemetry(shards=8),
+        )
+        report = run_replay(events, engine, mode="inproc")
+        assert report.decisions > 0
+        assert engine.telemetry.flight.recorded == engine.decisions
+
+    return fn

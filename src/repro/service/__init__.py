@@ -21,8 +21,11 @@ per tenant, with bounded latency — the ROADMAP's heavy-traffic story.
 
 Determinism contract: a fixed seed + event file yields a bitwise
 identical decision log across runs, transports (in-process vs socket),
-batch sizes, and restarts — including under a non-null fault spec.
-See ``docs/SERVICE.md``.
+batch sizes, restarts, and telemetry on/off — including under a
+non-null fault spec.  The wall-clock observability plane lives in
+:mod:`repro.telemetry` (attached via ``DecisionEngine(telemetry=...)``)
+and is write-only from the engine's point of view.  See
+``docs/SERVICE.md``.
 """
 
 from .driver import (

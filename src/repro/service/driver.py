@@ -29,7 +29,7 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -185,6 +185,7 @@ class ReplayReport:
     p50_ms: float
     p99_ms: float
     summary: Dict[str, object]
+    slo: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -198,6 +199,7 @@ class ReplayReport:
             "p50_ms": self.p50_ms,
             "p99_ms": self.p99_ms,
             "summary": self.summary,
+            "slo": self.slo,
         }
 
 
@@ -223,6 +225,9 @@ def _build_report(
     latencies_s: List[float],
 ) -> ReplayReport:
     stats = robust_stats(latencies_s or [0.0])
+    slo: Dict[str, object] = {}
+    if engine.telemetry is not None:
+        slo = engine.telemetry.slo.snapshot()
     return ReplayReport(
         tenants=tenants,
         events=events,
@@ -234,6 +239,7 @@ def _build_report(
         p50_ms=_percentile(latencies_s, engine, 50.0),
         p99_ms=_percentile(latencies_s, engine, 99.0),
         summary=engine.summary(),
+        slo=slo,
     )
 
 
@@ -265,6 +271,10 @@ def replay_inproc(
             engine.metrics.histogram("service.latency_ms").record(
                 elapsed * 1e3
             )
+        if engine.telemetry is not None:
+            engine.telemetry.note_latency(
+                str(record["tenant"]), elapsed * 1e3
+            )
         if int(record["seq"]) in decided:
             skipped += 1
             continue
@@ -282,6 +292,7 @@ async def _replay_one_tenant(
     port: int,
     events: Sequence[Dict[str, object]],
     window: int,
+    telemetry=None,
 ) -> Tuple[List[Dict[str, object]], List[float]]:
     """One tenant's connection: pipelined sends, in-order receives.
 
@@ -321,7 +332,7 @@ async def _replay_one_tenant(
                     key: response[key]
                     for key in (
                         "tenant", "seq", "function", "call", "action",
-                        "level", "attempts",
+                        "level", "attempts", "corr",
                     )
                 }
                 records.append(record)
@@ -329,8 +340,9 @@ async def _replay_one_tenant(
         writer.close()
         try:
             await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        except (ConnectionError, OSError) as exc:
+            if telemetry is not None:
+                telemetry.note_error(exc, "replay.close")
     return records, latencies
 
 
@@ -349,10 +361,20 @@ async def _replay_socket_async(
     try:
         results = await asyncio.gather(
             *(
-                _replay_one_tenant(config.host, port, stream, window)
+                _replay_one_tenant(
+                    config.host, port, stream, window,
+                    telemetry=engine.telemetry,
+                )
                 for _, stream in sorted(by_tenant.items())
             )
         )
+    except Exception as exc:
+        # Surface driver failures as structured error records too, so a
+        # soak that dies mid-flight leaves evidence in the telemetry
+        # plane (and its flight dump), not just a traceback.
+        if engine.telemetry is not None:
+            engine.telemetry.note_error(exc, "replay_socket")
+        raise
     finally:
         server.stop()
         await server.serve_until_stopped()

@@ -12,7 +12,11 @@ Requests:
 * ``{"op": "profile", "tenant", "function", "compile_times",
   "exec_times"}`` — register/replace a function's cost table;
 * ``{"op": "call", "tenant", "function", "seq"}`` — one invocation;
-  the response is the compile decision;
+  the response is the compile decision.  An optional ``corr``
+  (string or int) is a client correlation id: it is stamped verbatim
+  into the decision record and journal; when absent the engine derives
+  the deterministic default ``"<tenant>.<seq>"``, so the journal bytes
+  never depend on whether telemetry is watching;
 * ``{"op": "stats"}`` — engine summary;
 * ``{"op": "ping"}`` — liveness;
 * ``{"op": "shutdown"}`` — graceful drain + stop.
@@ -100,6 +104,11 @@ def validate_event(doc: Dict[str, object]) -> None:
                 raise ProtocolError(
                     f"op 'profile' field {field!r} must be a non-empty list"
                 )
+    if "corr" in doc and not isinstance(doc["corr"], (str, int)):
+        raise ProtocolError(
+            f"field 'corr' must be a string or int, "
+            f"got {type(doc['corr']).__name__}"
+        )
 
 
 def error_response(

@@ -21,6 +21,18 @@ change a decision.  The moving parts:
 * **Graceful shutdown** — a ``shutdown`` op (or :meth:`stop`) stops
   intake, drains the queue, answers everything in flight, then closes
   connections and the listener.
+* **Admin plane** — an HTTP request line on the same port (``GET
+  /statusz HTTP/1.1``) is detected before JSONL decoding and routed to
+  :class:`repro.telemetry.AdminPlane` (``/healthz``, ``/statusz``,
+  ``/metricsz``, ``/flightz``), answered, and the connection closed.
+
+When the engine carries a :class:`repro.telemetry.ServiceTelemetry`
+plane, the server additionally records wall-clock request spans
+(enqueue→admit→decide→respond), per-tenant SLO latency/rejections, the
+live queue depth, structured ``service.errors{type=...}`` records for
+every exception it would otherwise swallow, and each decision into the
+flight recorder — none of which is ever read on the decision path, so
+the journal stays bitwise identical with telemetry on or off.
 """
 
 from __future__ import annotations
@@ -30,6 +42,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..telemetry.admin import AdminPlane, parse_http_request_line
 from .protocol import ProtocolError, decode, encode, error_response
 from .state import DecisionEngine
 
@@ -58,6 +71,8 @@ class DecisionServer:
             raise ValueError("queue_limit must be >= 1")
         self.engine = engine
         self.config = config
+        self.telemetry = engine.telemetry
+        self.admin = AdminPlane(self)
         # Created in start(): on Python 3.9 asyncio primitives bind to
         # the running loop at construction time.
         self._queue: Optional["asyncio.Queue"] = None
@@ -95,12 +110,16 @@ class DecisionServer:
     def stop(self) -> None:
         """Request a graceful stop (drain, answer, close)."""
         assert self._stopping is not None, "start() first"
+        if self.telemetry is not None:
+            self.telemetry.draining = True
         self._stopping.set()
 
     async def _drain_and_close(self) -> None:
         # Stop accepting new connections, then let the worker finish
         # everything already queued.
         assert self._server is not None
+        if self.telemetry is not None:
+            self.telemetry.draining = True
         self._server.close()
         await self._queue.join()
         if self._worker is not None:
@@ -110,6 +129,8 @@ class DecisionServer:
             except asyncio.CancelledError:
                 pass
         await self._server.wait_closed()
+        if self.telemetry is not None:
+            self.telemetry.dump_flight("drain")
 
     # ------------------------------------------------------------------
     # Per-connection reader
@@ -121,6 +142,10 @@ class DecisionServer:
             while not self._stopping.is_set():
                 line = await reader.readline()
                 if not line:
+                    break
+                http = parse_http_request_line(line)
+                if http is not None:
+                    await self._handle_admin(reader, writer, *http)
                     break
                 try:
                     request = decode(line)
@@ -155,6 +180,10 @@ class DecisionServer:
                 if self._queue.qsize() >= self.config.admission_limit:
                     self.rejected += 1
                     self._count("service.rejected")
+                    if self.telemetry is not None:
+                        self.telemetry.note_rejection(
+                            str(request.get("tenant", ""))
+                        )
                     writer.write(
                         encode(
                             error_response(
@@ -166,15 +195,46 @@ class DecisionServer:
                     )
                     await writer.drain()
                     continue
+                span = None
+                if self.telemetry is not None:
+                    span = self.telemetry.metrics.begin_span(
+                        self._corr_of(request), str(request.get("tenant", ""))
+                    )
                 await self._queue.put(
-                    (request, writer, time.perf_counter())
+                    (request, writer, time.perf_counter(), span)
                 )
+                if span is not None:
+                    self.telemetry.metrics.mark_admitted(span)
         finally:
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            except (ConnectionError, OSError) as exc:
+                # The peer vanished mid-close: harmless, but visible.
+                self._note_error(exc, "connection.close")
+
+    @staticmethod
+    def _corr_of(request: Dict[str, object]) -> str:
+        corr = request.get("corr")
+        if corr is not None:
+            return str(corr)
+        return f"{request.get('tenant', '')}.{request.get('seq', '')}"
+
+    async def _handle_admin(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+    ) -> None:
+        """Answer one admin-plane HTTP request, then close the stream."""
+        # Consume the (ignored) request headers up to the blank line.
+        while True:
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+        writer.write(self.admin.handle(method, path))
+        await writer.drain()
 
     # ------------------------------------------------------------------
     # Batched decision rounds
@@ -182,6 +242,7 @@ class DecisionServer:
     async def _decision_worker(self) -> None:
         queue = self._queue
         batch_max = self.config.batch_max
+        telemetry = self.telemetry
         while True:
             batch = [await queue.get()]
             while len(batch) < batch_max:
@@ -192,25 +253,46 @@ class DecisionServer:
             if len(batch) > self.max_batch_seen:
                 self.max_batch_seen = len(batch)
             self._record("service.batch_size", len(batch))
+            if telemetry is not None:
+                telemetry.note_queue_depth(queue.qsize())
             pending_writers = []
-            for request, writer, enqueued_at in batch:
-                response = self._answer(request)
+            for request, writer, enqueued_at, span in batch:
+                try:
+                    response = self._answer(request)
+                except Exception as exc:
+                    # A worker death would silently hang every client;
+                    # answer with a structured error instead.
+                    record = self._note_error(exc, "decision-worker")
+                    detail = "internal error"
+                    if record is not None:
+                        detail = f"internal error: {record['type']}"
+                    response = error_response(detail, seq=request.get("seq"))
                 latency_ms = (time.perf_counter() - enqueued_at) * 1e3
                 self._record("service.latency_ms", latency_ms)
+                if telemetry is not None:
+                    if span is not None:
+                        telemetry.metrics.mark_decided(span)
+                    if response.get("op") == "decision":
+                        telemetry.note_latency(
+                            str(response["tenant"]), latency_ms
+                        )
                 if not writer.is_closing():
                     writer.write(encode(response))
                     pending_writers.append(writer)
+                if span is not None:
+                    telemetry.metrics.finish_span(span)
                 queue.task_done()
             for writer in pending_writers:
                 try:
                     await writer.drain()
-                except (ConnectionError, OSError):
-                    pass
+                except (ConnectionError, OSError) as exc:
+                    self._note_error(exc, "writer.drain")
 
     def _answer(self, request: Dict[str, object]) -> Dict[str, object]:
         try:
             record = self.engine.observe(request)
         except ValueError as exc:
+            self._note_error(exc, "engine.observe")
             return error_response(str(exc), seq=request.get("seq"))
         if record is None:  # profile registration
             return {
@@ -229,6 +311,13 @@ class DecisionServer:
     def _count(self, name: str) -> None:
         if self.engine.metrics is not None:
             self.engine.metrics.counter(name).inc()
+
+    def _note_error(self, exc: BaseException, where: str):
+        """Structured error record + ``service.errors{type=...}`` count
+        (``None`` when no telemetry plane is attached)."""
+        if self.telemetry is None:
+            return None
+        return self.telemetry.note_error(exc, where)
 
     def _record(self, name: str, value: float) -> None:
         if self.engine.metrics is not None:

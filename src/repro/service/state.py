@@ -128,10 +128,11 @@ class TenantState:
     only on the tenant's own event order).
     """
 
-    __slots__ = ("tenant", "functions", "decisions", "last_seq")
+    __slots__ = ("tenant", "shard", "functions", "decisions", "last_seq")
 
-    def __init__(self, tenant: str) -> None:
+    def __init__(self, tenant: str, shard: int = 0) -> None:
         self.tenant = tenant
+        self.shard = shard
         self.functions: "OrderedDict[str, FunctionState]" = OrderedDict()
         self.decisions = 0
         self.last_seq = -1
@@ -210,6 +211,11 @@ class DecisionEngine:
         tracer: optional :class:`repro.observability.Tracer`; decisions
             and fault events become instants on the virtual timeline
             (the global event sequence number is the clock).
+        telemetry: optional
+            :class:`repro.telemetry.ServiceTelemetry` — the *wall-clock*
+            plane.  Strictly write-only from the engine's point of view:
+            decisions are reported to it, nothing is ever read back, so
+            attaching it cannot change a decision or a journal byte.
     """
 
     def __init__(
@@ -220,6 +226,7 @@ class DecisionEngine:
         cache: Optional[DecisionCache] = None,
         metrics=None,
         tracer=None,
+        telemetry=None,
     ) -> None:
         self.policy = policy or ServicePolicy()
         if shards < 1:
@@ -248,6 +255,7 @@ class DecisionEngine:
         self.cache = cache
         self.metrics = metrics
         self.tracer = tracer
+        self.telemetry = telemetry
         self.decisions = 0
         self.events = 0
 
@@ -263,7 +271,7 @@ class DecisionEngine:
         shard = self.shards[index]
         state = shard.get(tenant)
         if state is None:
-            state = shard[tenant] = TenantState(tenant)
+            state = shard[tenant] = TenantState(tenant, index)
             self._count("service.tenants.created")
         lru = self._lru[index]
         lru[tenant] = None
@@ -338,7 +346,7 @@ class DecisionEngine:
         fstate.calls += 1
         state.last_seq = seq
 
-        action, level, attempts = self._resolve(fname, fstate)
+        action, level, attempts = self._resolve(state, fname, fstate)
 
         state.decisions += 1
         self.decisions += 1
@@ -347,6 +355,10 @@ class DecisionEngine:
         if action == "compile":
             self._count("service.compiles")
             fstate.installed = level
+        # The correlation id is deterministic whether supplied by the
+        # client or derived here, so the journal bytes are identical
+        # with telemetry on or off.
+        corr = event.get("corr")
         record = {
             "tenant": state.tenant,
             "seq": seq,
@@ -355,6 +367,7 @@ class DecisionEngine:
             "action": action,
             "level": level,
             "attempts": attempts,
+            "corr": str(corr) if corr is not None else f"{state.tenant}.{seq}",
         }
         self._instant(
             f"decision {fname} {action}",
@@ -364,10 +377,13 @@ class DecisionEngine:
             action=action,
             level=level,
         )
+        if self.telemetry is not None:
+            tally = dict(self.faults.tally) if self.faults is not None else None
+            self.telemetry.note_decision(event, record, state.shard, tally)
         return record
 
     def _resolve(
-        self, fname: str, fstate: FunctionState
+        self, state: TenantState, fname: str, fstate: FunctionState
     ) -> Tuple[str, int, int]:
         """(action, level, attempts) for one call, cache- and
         fault-aware.  Pure in everything but tallies."""
@@ -388,6 +404,10 @@ class DecisionEngine:
                 "service.cache.hits" if hit is not None else
                 "service.cache.misses"
             )
+            if self.telemetry is not None:
+                self.telemetry.note_cache(
+                    state.tenant, state.shard, hit is not None
+                )
             if hit is not None:
                 action, level, attempts, delta, wasted = hit
                 if self.faults is not None:

@@ -1,0 +1,58 @@
+"""Wall-clock telemetry for the live decision service.
+
+``repro.observability`` measures the *simulated* timeline (virtual
+clock, deterministic, part of the experiment); ``repro.telemetry``
+measures the *server itself* (wall clock, operational, never part of a
+decision).  The hard rule separating them: nothing in this package is
+ever read by :class:`repro.service.state.DecisionEngine`, so decision
+logs are bitwise identical with telemetry on or off — the property the
+``telemetry-smoke`` CI job enforces with ``cmp``.
+
+The pieces:
+
+* :class:`ServiceTelemetry` — the plane the CLI attaches: tagged
+  metrics, per-tenant SLOs, the flight recorder, drain state.
+* :class:`ServiceMetrics` / :class:`RequestSpan` — tagged counters,
+  gauges, histograms, and enqueue→admit→decide→respond spans.
+* :class:`SloTracker` — p50/p99 decide latency and rejection rate,
+  cumulative and over a sliding window.
+* :class:`FlightRecorder` / :func:`read_flight_bundle` — the black-box
+  last-N ring per shard and its JSONL bundle format.
+* :class:`AdminPlane` / :func:`http_get` — ``/healthz``, ``/statusz``,
+  ``/metricsz``, ``/flightz`` on the server's port.
+* :func:`render_prometheus` / :func:`validate_exposition` — Prometheus
+  text exposition out of metric registries, and its strict parser.
+"""
+
+from .admin import AdminPlane, http_get, http_response, parse_http_request_line
+from .flight import FlightRecorder, read_flight_bundle
+from .plane import ServiceTelemetry
+from .promtext import render_prometheus, validate_exposition
+from .service_metrics import (
+    RequestSpan,
+    ServiceMetrics,
+    metric_key,
+    split_metric_key,
+    structured_error,
+    summarize_error,
+)
+from .slo import SloTracker
+
+__all__ = [
+    "ServiceTelemetry",
+    "ServiceMetrics",
+    "RequestSpan",
+    "SloTracker",
+    "FlightRecorder",
+    "read_flight_bundle",
+    "AdminPlane",
+    "http_get",
+    "http_response",
+    "parse_http_request_line",
+    "render_prometheus",
+    "validate_exposition",
+    "metric_key",
+    "split_metric_key",
+    "structured_error",
+    "summarize_error",
+]

@@ -1,0 +1,166 @@
+"""Black-box flight recorder: last-N request/decision ring per shard.
+
+The recorder keeps a bounded ring buffer per engine shard holding the
+most recent fully-decoded requests, the decisions they produced, and
+the fault-injector tally at decision time.  On crash, drain, or an
+admin trigger the rings are dumped **atomically** (write to a temp file
+in the same directory, then :func:`os.replace`) as a timestamped JSONL
+bundle: one header line, then entries sorted by global arrival order.
+``repro telemetry inspect`` reads bundles back via
+:func:`read_flight_bundle`.
+
+Recording is O(1) per decision (a dict copy into a ``deque``) and only
+happens when a telemetry plane is attached — the telemetry-off path
+never touches this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["FlightRecorder", "read_flight_bundle"]
+
+FLIGHT_KIND = "repro-flight"
+FLIGHT_VERSION = 1
+
+
+class FlightRecorder:
+    """Bounded per-shard ring buffer of decoded requests and decisions."""
+
+    def __init__(
+        self,
+        shards: int = 8,
+        capacity: int = 256,
+        wall: Callable[[], float] = time.time,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.shards = shards
+        self.capacity = capacity
+        self.wall = wall
+        self.recorded = 0
+        self.dumps = 0
+        self._rings: List[Deque[Dict[str, object]]] = [
+            deque(maxlen=capacity) for _ in range(shards)
+        ]
+
+    def record(self, shard: int, entry: Dict[str, object]) -> None:
+        """Append ``entry`` to ``shard``'s ring, stamping order and time."""
+
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.shards})")
+        self.recorded += 1
+        stamped = dict(entry)
+        stamped["order"] = self.recorded
+        stamped["shard"] = shard
+        stamped["wall_ts"] = self.wall()
+        self._rings[shard].append(stamped)
+
+    def entries(self) -> Iterator[Dict[str, object]]:
+        """All retained entries, in global arrival order."""
+
+        merged: List[Dict[str, object]] = []
+        for ring in self._rings:
+            merged.extend(ring)
+        merged.sort(key=lambda entry: entry["order"])
+        return iter(merged)
+
+    def occupancy(self) -> List[int]:
+        return [len(ring) for ring in self._rings]
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "shards": self.shards,
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "retained": sum(self.occupancy()),
+            "dumps": self.dumps,
+            "occupancy": self.occupancy(),
+        }
+
+    def dump(self, directory: str, reason: str) -> str:
+        """Atomically write a timestamped JSONL bundle; return its path."""
+
+        os.makedirs(directory, exist_ok=True)
+        now = self.wall()
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(now))
+        base = f"flight-{stamp}-{reason}"
+        path = os.path.join(directory, f"{base}.jsonl")
+        suffix = 0
+        while os.path.exists(path):
+            suffix += 1
+            path = os.path.join(directory, f"{base}.{suffix}.jsonl")
+        entries = list(self.entries())
+        header = {
+            "kind": FLIGHT_KIND,
+            "version": FLIGHT_VERSION,
+            "reason": reason,
+            "created_unix": now,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)),
+            "shards": self.shards,
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dumped": len(entries),
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(header, sort_keys=True) + "\n")
+                for entry in entries:
+                    fh.write(json.dumps(entry, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        self.dumps += 1
+        return path
+
+
+def read_flight_bundle(
+    path: str,
+) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """Read and validate a flight bundle; return ``(header, entries)``.
+
+    Raises :class:`ValueError` on a missing/foreign header, a version
+    from the future, an entry/header count mismatch, or out-of-order
+    entries — a dump that fails here is corrupt, not merely old.
+    """
+
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [line for line in fh.read().split("\n") if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty flight bundle")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: unreadable header: {exc}") from None
+    if not isinstance(header, dict) or header.get("kind") != FLIGHT_KIND:
+        raise ValueError(f"{path}: not a {FLIGHT_KIND} bundle")
+    version = header.get("version")
+    if not isinstance(version, int) or version > FLIGHT_VERSION:
+        raise ValueError(f"{path}: unsupported flight version {version!r}")
+    entries = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: unreadable entry: {exc}") from None
+        if not isinstance(entry, dict) or "order" not in entry:
+            raise ValueError(f"{path}:{lineno}: entry missing 'order'")
+        if entries and entry["order"] <= entries[-1]["order"]:
+            raise ValueError(f"{path}:{lineno}: entries out of order")
+        entries.append(entry)
+    dumped = header.get("dumped")
+    if isinstance(dumped, int) and dumped != len(entries):
+        raise ValueError(
+            f"{path}: header says {dumped} entries, found {len(entries)}"
+        )
+    return header, entries

@@ -1,0 +1,255 @@
+"""Prometheus text exposition rendering and validation.
+
+``render_prometheus`` turns one or more
+:class:`~repro.observability.metrics.MetricsRegistry` objects into the
+`text exposition format`_ served by ``/metricsz``: counters become
+``*_total`` counter families, gauges become gauges, and histograms
+become summaries with ``quantile`` labels from the deterministic
+reservoir.  Tagged names produced by
+:func:`repro.telemetry.service_metrics.metric_key` are decoded back
+into label sets.
+
+``validate_exposition`` is the matching strict parser used by tests and
+the ``telemetry-smoke`` CI job: it checks name/label/value grammar,
+``# TYPE`` placement and uniqueness, and duplicate samples, and returns
+the number of samples so callers can assert non-emptiness.
+
+.. _text exposition format:
+   https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+from .service_metrics import split_metric_key
+
+__all__ = ["render_prometheus", "validate_exposition"]
+
+_QUANTILES = ((50.0, "0.5"), (90.0, "0.9"), (99.0, "0.99"))
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?[0-9]+))?$"
+)
+_LABEL_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\["\\n])*)"$'
+)
+_VALUE_RE = re.compile(r"^(?:[+-]?Inf|NaN|[+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)$")
+
+
+def _sanitize(name: str) -> str:
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_RE.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, bool) or not isinstance(value, float):
+        return str(int(value))
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(value)
+
+
+def _labelset(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{_escape(labels[key])}"' for key in sorted(labels))
+    return "{" + body + "}"
+
+
+def render_prometheus(*registries: MetricsRegistry) -> str:
+    """Render registries as Prometheus text exposition (newline-terminated).
+
+    Families are emitted sorted by exposition name; the same family may
+    draw samples from several registries (e.g. the engine's untagged
+    registry plus the telemetry plane's tagged one) as long as every
+    contributor agrees on the instrument kind.
+    """
+
+    families: Dict[str, Tuple[str, str, List[str]]] = {}
+    for registry in registries:
+        for key in registry.names():
+            metric = registry.get(key)
+            base, labels = split_metric_key(key)
+            if isinstance(metric, Counter):
+                fam = _sanitize(base)
+                if not fam.endswith("_total"):
+                    fam += "_total"
+                kind = "counter"
+                samples = [f"{fam}{_labelset(labels)} {_fmt(metric.value)}"]
+            elif isinstance(metric, Gauge):
+                fam = _sanitize(base)
+                kind = "gauge"
+                samples = [f"{fam}{_labelset(labels)} {_fmt(metric.value)}"]
+            elif isinstance(metric, Histogram):
+                fam = _sanitize(base)
+                kind = "summary"
+                samples = []
+                for q, qlabel in _QUANTILES:
+                    value = metric.percentile(q)
+                    if value is None:
+                        continue
+                    qlabels = dict(labels)
+                    qlabels["quantile"] = qlabel
+                    samples.append(f"{fam}{_labelset(qlabels)} {_fmt(float(value))}")
+                samples.append(f"{fam}_sum{_labelset(labels)} {_fmt(metric.total)}")
+                samples.append(f"{fam}_count{_labelset(labels)} {_fmt(metric.count)}")
+            else:  # pragma: no cover - registry only stores the three kinds
+                continue
+            existing = families.get(fam)
+            if existing is None:
+                families[fam] = (kind, base, samples)
+            elif existing[0] != kind:
+                raise ValueError(
+                    f"metric family {fam!r} rendered as both "
+                    f"{existing[0]} and {kind}"
+                )
+            else:
+                existing[2].extend(samples)
+    lines: List[str] = []
+    identities = set()
+    for fam in sorted(families):
+        kind, base, samples = families[fam]
+        lines.append(f"# HELP {fam} repro metric {base}")
+        lines.append(f"# TYPE {fam} {kind}")
+        for sample in sorted(samples):
+            identity = sample.rsplit(" ", 1)[0]
+            if identity in identities:
+                raise ValueError(
+                    f"duplicate sample {identity!r}: the same series is "
+                    f"registered in more than one registry"
+                )
+            identities.add(identity)
+            lines.append(sample)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _family_of(name: str, types: Dict[str, str]) -> str:
+    """Map a sample name onto its declared family, if any."""
+
+    if name in types:
+        return name
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix):
+            stem = name[: -len(suffix)]
+            if types.get(stem) in ("summary", "histogram"):
+                return stem
+    return name
+
+
+def validate_exposition(text: str) -> int:
+    """Strictly validate Prometheus text exposition; return the sample count.
+
+    Raises :class:`ValueError` (with a line number) on grammar errors,
+    duplicate or misplaced ``# TYPE`` lines, invalid label escapes,
+    un-parseable values, or duplicate samples.
+    """
+
+    if text and not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    types: Dict[str, str] = {}
+    seen_samples: Dict[str, int] = {}
+    seen_families = set()
+    count = 0
+    for lineno, line in enumerate(text.split("\n")[:-1], start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ValueError(f"line {lineno}: malformed TYPE line")
+                _, _, name, kind = parts
+                if not _NAME_RE.match(name):
+                    raise ValueError(f"line {lineno}: invalid metric name {name!r}")
+                if kind not in ("counter", "gauge", "summary", "histogram", "untyped"):
+                    raise ValueError(f"line {lineno}: invalid metric type {kind!r}")
+                if name in types:
+                    raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+                if name in seen_families:
+                    raise ValueError(
+                        f"line {lineno}: TYPE for {name!r} after its samples"
+                    )
+                types[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        raw_labels = match.group("labels")
+        identity = name
+        if raw_labels is not None:
+            if raw_labels.strip() == "":
+                raise ValueError(f"line {lineno}: empty label set")
+            label_names = set()
+            for part in _split_labels(raw_labels, lineno):
+                lmatch = _LABEL_RE.match(part)
+                if not lmatch:
+                    raise ValueError(f"line {lineno}: malformed label {part!r}")
+                lname = lmatch.group("name")
+                if not _LABEL_NAME_RE.match(lname):
+                    raise ValueError(f"line {lineno}: invalid label name {lname!r}")
+                if lname in label_names:
+                    raise ValueError(f"line {lineno}: duplicate label {lname!r}")
+                label_names.add(lname)
+            parts = sorted(_split_labels(raw_labels, lineno))
+            identity = f"{name}{{{','.join(parts)}}}"
+        if not _VALUE_RE.match(match.group("value")):
+            raise ValueError(
+                f"line {lineno}: invalid value {match.group('value')!r}"
+            )
+        if identity in seen_samples:
+            raise ValueError(
+                f"line {lineno}: duplicate sample (first at line "
+                f"{seen_samples[identity]}): {identity}"
+            )
+        seen_samples[identity] = lineno
+        seen_families.add(_family_of(name, types))
+        count += 1
+    return count
+
+
+def _split_labels(raw: str, lineno: int) -> List[str]:
+    """Split ``a="x",b="y"`` respecting escaped quotes inside values."""
+
+    parts: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in raw:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            current.append(ch)
+            escaped = True
+        elif ch == '"':
+            current.append(ch)
+            in_quotes = not in_quotes
+        elif ch == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if in_quotes or escaped:
+        raise ValueError(f"line {lineno}: unterminated label value")
+    if current or not parts:
+        parts.append("".join(current))
+    return parts

@@ -1,0 +1,111 @@
+"""Bounded-memory regression tests for the streaming trace exporters.
+
+``write_chrome_trace`` and ``write_jsonl`` must hold one serialized
+record at a time — not a second materialized copy of the event list —
+so exporting a full-length run cannot double peak memory.  The cap here
+is measured with ``tracemalloc`` against a ~30k-event trace: the sort
+keeps event *references* (one pointer list), so allowed growth is a few
+hundred bytes per event, far under the ~1 KiB a materialized record
+dict costs.
+"""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.observability import (
+    Tracer,
+    iter_chrome_records,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+EVENTS = 30_000
+# Reference list for the sort + bookkeeping; a materialized record list
+# for this trace costs >15 MB, so the cap cleanly separates the two.
+MEMORY_CAP_BYTES = 3 * 1024 * 1024
+
+
+def _big_trace(events: int = EVENTS) -> Tracer:
+    tracer = Tracer()
+    t = 0.0
+    for i in range(events // 3):
+        track = f"proc{i % 4}/lane{i % 7}"
+        tracer.begin(f"span{i % 11}", track, t, args={"i": i})
+        tracer.end(track, t + 1.0)
+        tracer.instant(f"mark{i % 5}", track, t + 0.25)
+        tracer.counter(f"ctr{i % 3}", track, t + 0.5, float(i))
+        t += 2.0
+    return tracer
+
+
+def _peak_during(fn) -> int:
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+        current, _ = tracemalloc.get_traced_memory()
+        return peak - current
+    finally:
+        tracemalloc.stop()
+
+
+class TestStreamingMemory:
+    @pytest.fixture(scope="class")
+    def tracer(self):
+        return _big_trace()
+
+    def test_write_chrome_trace_is_bounded(self, tracer, tmp_path):
+        path = tmp_path / "big.trace.json"
+        overhead = _peak_during(lambda: write_chrome_trace(tracer, str(path)))
+        assert overhead < MEMORY_CAP_BYTES, (
+            f"write_chrome_trace peaked {overhead} bytes over baseline "
+            f"(cap {MEMORY_CAP_BYTES}); the exporter is buffering records"
+        )
+
+    def test_write_jsonl_is_bounded(self, tracer, tmp_path):
+        path = tmp_path / "big.jsonl"
+        overhead = _peak_during(lambda: write_jsonl(tracer, str(path)))
+        assert overhead < MEMORY_CAP_BYTES
+
+    def test_materialized_trace_would_blow_the_cap(self, tracer):
+        # Sanity-check the cap is meaningful: the non-streaming path
+        # really does allocate far more than the streaming writers may.
+        overhead = _peak_during(lambda: to_chrome_trace(tracer))
+        assert overhead > MEMORY_CAP_BYTES
+
+
+class TestStreamingEquivalence:
+    def _small_trace(self) -> Tracer:
+        tracer = Tracer()
+        tracer.begin("compile", "jit/worker0", 0.0, args={"fn": "hot"})
+        tracer.end("jit/worker0", 5.0)
+        tracer.instant("osr", "jit/worker0", 6.0)
+        tracer.begin("gc", "runtime/gc", 1.0)
+        tracer.end("runtime/gc", 2.0)
+        tracer.counter("heap", "runtime/gc", 3.0, 10.0)
+        return tracer
+
+    def test_iter_matches_materialized(self):
+        tracer = self._small_trace()
+        assert list(iter_chrome_records(tracer)) == to_chrome_trace(tracer)[
+            "traceEvents"
+        ]
+
+    def test_streamed_file_matches_materialized_object(self, tmp_path):
+        tracer = self._small_trace()
+        path = tmp_path / "out.trace.json"
+        count = write_chrome_trace(tracer, str(path))
+        assert count == len(tracer.events)
+        data = json.loads(path.read_text())
+        assert data == to_chrome_trace(tracer)
+
+    def test_streamed_file_validates(self, tmp_path):
+        tracer = _big_trace(events=300)
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(tracer, str(path))
+        assert validate_chrome_trace(path.read_text()) == len(tracer.events)

@@ -1,0 +1,144 @@
+"""Flight recorder tests: ring eviction, atomic dumps, bundle validation."""
+
+import json
+import os
+
+import pytest
+
+from repro.telemetry import FlightRecorder, read_flight_bundle
+
+
+class FakeWall:
+    def __init__(self, start=1_700_000_000.0):
+        self.now = start
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestFlightRecorder:
+    def test_ring_evicts_oldest_per_shard(self):
+        recorder = FlightRecorder(shards=2, capacity=3, wall=FakeWall())
+        for i in range(10):
+            recorder.record(i % 2, {"i": i})
+        assert recorder.recorded == 10
+        assert recorder.occupancy() == [3, 3]
+        retained = [entry["i"] for entry in recorder.entries()]
+        # The last three per shard survive, merged in arrival order.
+        assert retained == [4, 5, 6, 7, 8, 9]
+
+    def test_entries_sorted_by_global_order(self):
+        recorder = FlightRecorder(shards=3, capacity=8, wall=FakeWall())
+        for i in range(12):
+            recorder.record((i * 7) % 3, {"i": i})
+        orders = [entry["order"] for entry in recorder.entries()]
+        assert orders == sorted(orders)
+        assert orders == list(range(1, 13))
+
+    def test_record_stamps_without_mutating_caller_dict(self):
+        recorder = FlightRecorder(shards=1, capacity=4, wall=FakeWall())
+        entry = {"corr": "t1.1"}
+        recorder.record(0, entry)
+        assert entry == {"corr": "t1.1"}
+        stamped = next(recorder.entries())
+        assert stamped["order"] == 1
+        assert stamped["shard"] == 0
+        assert stamped["wall_ts"] > 0
+
+    def test_shard_out_of_range(self):
+        recorder = FlightRecorder(shards=2, capacity=4)
+        with pytest.raises(ValueError, match="out of range"):
+            recorder.record(2, {})
+        with pytest.raises(ValueError, match="out of range"):
+            recorder.record(-1, {})
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(shards=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestDumpAndRead:
+    def _filled(self, entries=20):
+        recorder = FlightRecorder(shards=4, capacity=8, wall=FakeWall())
+        for i in range(entries):
+            recorder.record(i % 4, {"i": i, "corr": f"t.{i}"})
+        return recorder
+
+    def test_dump_round_trips(self, tmp_path):
+        recorder = self._filled()
+        path = recorder.dump(str(tmp_path), "unit")
+        assert os.path.basename(path).startswith("flight-")
+        assert path.endswith("-unit.jsonl")
+        header, entries = read_flight_bundle(path)
+        assert header["kind"] == "repro-flight"
+        assert header["version"] == 1
+        assert header["reason"] == "unit"
+        assert header["recorded"] == 20
+        assert header["dumped"] == len(entries) == 20
+        assert [entry["i"] for entry in entries] == list(range(20))
+        assert recorder.dumps == 1
+
+    def test_dump_collision_gets_suffix(self, tmp_path):
+        recorder = self._filled(entries=2)
+        # FakeWall advances by seconds; freeze the timestamp so both
+        # dumps contend for the same file name.
+        recorder.wall = lambda: 1_700_000_000.0
+        first = recorder.dump(str(tmp_path), "same")
+        second = recorder.dump(str(tmp_path), "same")
+        assert first != second
+        assert second.endswith(".1.jsonl")
+        for path in (first, second):
+            read_flight_bundle(path)
+
+    def test_dump_leaves_no_temp_files(self, tmp_path):
+        self._filled().dump(str(tmp_path), "clean")
+        leftovers = [name for name in os.listdir(tmp_path) if ".tmp." in name]
+        assert leftovers == []
+
+    def test_read_rejects_corruption(self, tmp_path):
+        recorder = self._filled(entries=4)
+        path = recorder.dump(str(tmp_path), "ok")
+        lines = open(path).read().splitlines()
+
+        def write(name, content_lines):
+            p = tmp_path / name
+            p.write_text("\n".join(content_lines) + "\n")
+            return str(p)
+
+        with pytest.raises(ValueError, match="empty"):
+            read_flight_bundle(write("empty.jsonl", []))
+        with pytest.raises(ValueError, match="unreadable header"):
+            read_flight_bundle(write("garbage.jsonl", ["not json"]))
+        with pytest.raises(ValueError, match="not a repro-flight"):
+            read_flight_bundle(write("foreign.jsonl", ['{"kind": "other"}']))
+        future = json.loads(lines[0])
+        future["version"] = 99
+        with pytest.raises(ValueError, match="unsupported flight version"):
+            read_flight_bundle(
+                write("future.jsonl", [json.dumps(future)] + lines[1:])
+            )
+        with pytest.raises(ValueError, match="out of order"):
+            read_flight_bundle(
+                write("shuffled.jsonl", [lines[0], lines[2], lines[1]] + lines[3:])
+            )
+        with pytest.raises(ValueError, match="header says"):
+            read_flight_bundle(write("truncated.jsonl", lines[:-1]))
+        entry_sans_order = dict(json.loads(lines[1]))
+        del entry_sans_order["order"]
+        with pytest.raises(ValueError, match="missing 'order'"):
+            read_flight_bundle(
+                write("noorder.jsonl", [lines[0], json.dumps(entry_sans_order)])
+            )
+
+    def test_snapshot(self):
+        recorder = self._filled(entries=10)
+        snap = recorder.snapshot()
+        assert snap["shards"] == 4
+        assert snap["capacity"] == 8
+        assert snap["recorded"] == 10
+        assert snap["retained"] == 10
+        assert snap["dumps"] == 0
+        assert snap["occupancy"] == [3, 3, 2, 2]
